@@ -1,0 +1,114 @@
+//! μWM as an emulation detector (§2.1, "Preventing emulation").
+//!
+//! Conventional emulators implement the *architectural* machine model —
+//! fixed latencies, no speculation, no cache state. A μWM computation
+//! therefore degenerates on them: a TSX assignment of `1` reads back `0`
+//! because nothing raced, and timed loads are flat. A program can run a
+//! handful of gates and refuse to reveal its real behaviour unless the
+//! gates compute correctly, i.e. unless it is on real (here: fully
+//! modelled) hardware.
+
+use uwm_core::error::Result;
+use uwm_core::gate::tsx::TsxAssign;
+use uwm_core::layout::Layout;
+use uwm_sim::machine::{Machine, MachineConfig};
+
+/// How many probe gates a verdict is based on.
+pub const PROBE_ROUNDS: usize = 16;
+
+/// The detector's conclusion about the platform it ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Weird gates compute: a real microarchitecture is underneath.
+    RealHardware,
+    /// Weird gates degenerate: we are being emulated or analyzed.
+    Emulated,
+}
+
+/// Runs the μWM emulation probe on `m`: executes a TSX assignment gate of
+/// a known `1` several times and checks that the MA layer faithfully
+/// carried the bit.
+///
+/// # Errors
+///
+/// Fails if gate construction exhausts the layout.
+pub fn probe(m: &mut Machine, lay: &mut Layout) -> Result<Platform> {
+    let gate = TsxAssign::build(m, lay)?;
+    // The probe must exercise *both* logic levels: a flat emulator with
+    // constant load latency reads every weird register as the same value,
+    // so it fails on one of the two (it cannot fail on neither).
+    let mut correct = 0usize;
+    for round in 0..PROBE_ROUNDS {
+        let bit = round % 2 == 0;
+        if gate.execute(m, bit) == bit {
+            correct += 1;
+        }
+    }
+    Ok(if correct * 4 >= PROBE_ROUNDS * 3 {
+        Platform::RealHardware
+    } else {
+        Platform::Emulated
+    })
+}
+
+/// Convenience: builds a machine from `cfg` and probes it.
+///
+/// # Errors
+///
+/// Fails if gate construction exhausts the layout.
+pub fn probe_config(cfg: MachineConfig, seed: u64) -> Result<Platform> {
+    let mut m = Machine::new(cfg, seed);
+    let mut lay = Layout::new(m.predictor().alias_stride());
+    probe(&mut m, &mut lay)
+}
+
+/// A computation that only reveals its result on real hardware: returns
+/// `Some(a * b)` when the platform sustains μWM execution, `None` under
+/// emulation — the "secret algorithm on an untrusted machine" use case.
+///
+/// # Errors
+///
+/// Fails if gate construction exhausts the layout.
+pub fn guarded_multiply(m: &mut Machine, lay: &mut Layout, a: u32, b: u32) -> Result<Option<u64>> {
+    Ok(match probe(m, lay)? {
+        Platform::RealHardware => Some(a as u64 * b as u64),
+        Platform::Emulated => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_model_detected_as_hardware() {
+        assert_eq!(
+            probe_config(MachineConfig::quiet(), 0).unwrap(),
+            Platform::RealHardware
+        );
+        assert_eq!(
+            probe_config(MachineConfig::default(), 1).unwrap(),
+            Platform::RealHardware,
+            "default noise must not flip the verdict"
+        );
+    }
+
+    #[test]
+    fn flat_model_detected_as_emulator() {
+        assert_eq!(
+            probe_config(MachineConfig::flat(), 0).unwrap(),
+            Platform::Emulated
+        );
+    }
+
+    #[test]
+    fn guarded_computation_withholds_result_under_emulation() {
+        let mut m = Machine::new(MachineConfig::flat(), 0);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        assert_eq!(guarded_multiply(&mut m, &mut lay, 6, 7).unwrap(), None);
+
+        let mut m = Machine::new(MachineConfig::quiet(), 0);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        assert_eq!(guarded_multiply(&mut m, &mut lay, 6, 7).unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,156 @@
+//! SHA-1 on weird gates (§5.2 of the paper).
+//!
+//! "Partially architecturally visible": word values are held in ordinary
+//! variables between operations, but **every boolean combination of bits
+//! runs on a weird gate** — when the algorithm adds two numbers, no CPU
+//! `add` instruction executes; a ripple-carry chain of weird full adders
+//! (two XORs + one AND-AND-OR per bit) does the work, exactly as the paper
+//! describes.
+//!
+//! The gate mix mirrors the paper's Table 4: XOR is built from four NANDs,
+//! so NAND executions dominate; the round functions and carries use the
+//! composed `AND_AND_OR` gate.
+
+use uwm_core::skelly::Skelly;
+use uwm_crypto::sha1::{Sha1, H0, K};
+
+/// SHA-1 evaluator running on a [`Skelly`] weird machine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use uwm_apps::UwmSha1;
+/// use uwm_core::skelly::Skelly;
+/// use uwm_crypto::sha1;
+///
+/// let mut sk = Skelly::quiet(0).unwrap();
+/// let digest = UwmSha1::new(&mut sk).hash(b"abc");
+/// assert_eq!(digest, sha1(b"abc"));
+/// ```
+#[derive(Debug)]
+pub struct UwmSha1<'a> {
+    sk: &'a mut Skelly,
+}
+
+impl<'a> UwmSha1<'a> {
+    /// Wraps a weird machine for hashing.
+    pub fn new(sk: &'a mut Skelly) -> Self {
+        Self { sk }
+    }
+
+    /// Hashes `message`, performing all boolean work on weird gates.
+    /// Padding and word packing (pure data movement) are architectural.
+    pub fn hash(&mut self, message: &[u8]) -> [u8; 20] {
+        let mut state = H0;
+        for block in Sha1::pad_blocks(message) {
+            state = self.compress(state, &block);
+        }
+        let mut out = [0u8; 20];
+        for (i, w) in state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    /// One compression round over `block` on weird gates.
+    pub fn compress(&mut self, state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+        let sk = &mut *self.sk;
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        }
+        for t in 16..80 {
+            let x = sk.xor32(w[t - 3], w[t - 8]);
+            let y = sk.xor32(x, w[t - 14]);
+            let z = sk.xor32(y, w[t - 16]);
+            w[t] = sk.rotl32(z, 1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = state;
+        for (t, &wt) in w.iter().enumerate() {
+            let f = self.round_f(t, b, c, d);
+            let sk = &mut *self.sk;
+            let mut temp = sk.add32(sk.rotl32(a, 5), f);
+            temp = sk.add32(temp, e);
+            temp = sk.add32(temp, wt);
+            temp = sk.add32(temp, K[t / 20]);
+            e = d;
+            d = c;
+            c = self.sk.rotl32(b, 30);
+            b = a;
+            a = temp;
+        }
+        let sk = &mut *self.sk;
+        [
+            sk.add32(state[0], a),
+            sk.add32(state[1], b),
+            sk.add32(state[2], c),
+            sk.add32(state[3], d),
+            sk.add32(state[4], e),
+        ]
+    }
+
+    /// The stage function on weird gates:
+    /// Ch = `(b & c) | (!b & d)`, Parity = `b ^ c ^ d`,
+    /// Maj = `(b & c) | (d & (b ^ c))` — each a direct `AND_AND_OR`/XOR
+    /// formulation, matching the paper's gate inventory.
+    fn round_f(&mut self, t: usize, b: u32, c: u32, d: u32) -> u32 {
+        let sk = &mut *self.sk;
+        match t / 20 {
+            0 => {
+                let nb = sk.not32(b);
+                sk.and_and_or32(b, c, nb, d)
+            }
+            1 | 3 => {
+                let x = sk.xor32(b, c);
+                sk.xor32(x, d)
+            }
+            2 => {
+                let bc = sk.xor32(b, c);
+                sk.and_and_or32(b, c, d, bc)
+            }
+            _ => unreachable!("t < 80"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uwm_crypto::sha1::compress_block;
+
+    /// One full compression on weird gates matches the reference — this is
+    /// the expensive end-to-end check (~200k gate executions), so the full
+    /// multi-block run lives in the integration suite / benches.
+    #[test]
+    fn single_block_compress_matches_reference() {
+        let mut sk = Skelly::quiet(0).unwrap();
+        let block: [u8; 64] = core::array::from_fn(|i| i as u8);
+        let got = UwmSha1::new(&mut sk).compress(H0, &block);
+        assert_eq!(got, compress_block(H0, &block));
+    }
+
+    #[test]
+    fn round_functions_match_reference() {
+        let mut sk = Skelly::quiet(1).unwrap();
+        let mut u = UwmSha1::new(&mut sk);
+        let (b, c, d) = (0xDEAD_BEEFu32, 0x1234_5678, 0x0F0F_0F0F);
+        for t in [0, 25, 45, 65] {
+            assert_eq!(u.round_f(t, b, c, d), uwm_crypto::sha1::f(t, b, c, d), "t={t}");
+        }
+    }
+
+    #[test]
+    fn gate_counters_record_the_table4_mix() {
+        let mut sk = Skelly::quiet(2).unwrap();
+        let block = [0u8; 64];
+        UwmSha1::new(&mut sk).compress(H0, &block);
+        let counters = sk.counters();
+        let nand = counters.get("NAND").expect("NANDs executed").raw_total;
+        let aao = counters.get("AND_AND_OR").expect("AAOs executed").raw_total;
+        assert!(
+            nand > 10 * aao,
+            "NAND must dominate as in Table 4 (nand={nand}, aao={aao})"
+        );
+        assert!(counters.get("OR").is_none(), "this mix uses no plain OR");
+    }
+}

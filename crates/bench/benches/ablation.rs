@@ -1,0 +1,109 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! gate accuracy vs. noise level, vs. redundancy parameters, and vs. the
+//! TSX speculative-window length — the §5.2 time/visibility/accuracy
+//! trade-off, measured.
+//!
+//! These report *accuracy* through Criterion's measurement of work done at
+//! each setting; the printed accuracies land in the bench output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uwm_core::skelly::{Redundancy, Skelly};
+use uwm_sim::machine::MachineConfig;
+use uwm_sim::timing::NoiseConfig;
+
+/// Accuracy of 2 000 TSX_XOR executions at a given noise level.
+fn xor_accuracy(noise: NoiseConfig, red: Redundancy, seed: u64) -> f64 {
+    let mut cfg = MachineConfig::default();
+    cfg.noise = noise;
+    let mut sk = Skelly::new(cfg, seed).expect("skelly builds");
+    sk.set_redundancy(red);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trials = 2_000 / red.raw_executions().max(1) as u64 + 10;
+    let mut correct = 0u64;
+    for _ in 0..trials {
+        let (a, b) = (rng.gen::<bool>(), rng.gen::<bool>());
+        if sk.tsx_xor(a, b) == (a ^ b) {
+            correct += 1;
+        }
+    }
+    correct as f64 / trials as f64
+}
+
+fn bench_noise_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noise_ablation");
+    group.sample_size(10);
+    for level in [0.0, 0.25, 0.5, 1.0] {
+        let acc = xor_accuracy(NoiseConfig::scaled(level), Redundancy::default(), 11);
+        println!("ablation: noise level {level}: raw TSX_XOR accuracy {acc:.4}");
+        group.bench_with_input(
+            BenchmarkId::new("tsx_xor_at_noise", format!("{level}")),
+            &level,
+            |b, &level| {
+                let mut cfg = MachineConfig::default();
+                cfg.noise = NoiseConfig::scaled(level);
+                let mut sk = Skelly::new(cfg, 11).expect("skelly builds");
+                b.iter(|| sk.tsx_xor(true, false))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_redundancy_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redundancy_ablation");
+    group.sample_size(10);
+    for (label, red) in [
+        ("raw", Redundancy::default()),
+        ("s3", Redundancy { samples: 3, votes: 1, k: 1 }),
+        ("s3n3k2", Redundancy { samples: 3, votes: 3, k: 2 }),
+        ("paper_s10n5k3", Redundancy::paper()),
+    ] {
+        let acc = xor_accuracy(NoiseConfig::default(), red, 13);
+        println!(
+            "ablation: redundancy {label} ({} raw execs/op): voted TSX_XOR accuracy {acc:.4}",
+            red.raw_executions()
+        );
+        group.bench_with_input(BenchmarkId::new("tsx_xor_voted", label), &red, |b, &red| {
+            let mut sk = Skelly::noisy(13).expect("skelly builds");
+            sk.set_redundancy(red);
+            b.iter(|| sk.tsx_xor(true, true))
+        });
+    }
+    group.finish();
+}
+
+fn bench_window_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("window_ablation");
+    group.sample_size(10);
+    // The TSX post-fault window must sit between "a few L1 hits" and "a
+    // DRAM miss" for gates to work; sweep it across that band.
+    for window in [40u64, 80, 120, 160, 240] {
+        let mut cfg = MachineConfig::default();
+        cfg.latency.tsx_spec_window = window;
+        let mut sk = Skelly::new(cfg, 17).expect("skelly builds");
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut correct = 0u32;
+        let trials = 600;
+        for _ in 0..trials {
+            let (a, b) = (rng.gen::<bool>(), rng.gen::<bool>());
+            if sk.tsx_and(a, b) == (a & b) {
+                correct += 1;
+            }
+        }
+        println!(
+            "ablation: tsx window {window} cycles: TSX_AND accuracy {:.4}",
+            correct as f64 / trials as f64
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tsx_and_at_window", window),
+            &window,
+            |b, _| b.iter(|| sk.tsx_and(true, true)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_noise_sweep, bench_redundancy_sweep, bench_window_sweep);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion throughput benchmarks for individual weird gates — the
+//! host-side counterpart of Table 2's "Executions/Second" column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uwm_core::skelly::Skelly;
+
+fn bench_gates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_execution");
+    group.sample_size(20);
+    for gate in [
+        "AND",
+        "OR",
+        "NAND",
+        "AND_AND_OR",
+        "TSX_ASSIGN",
+        "TSX_AND",
+        "TSX_OR",
+        "TSX_AND_OR",
+        "TSX_NOT",
+        "TSX_XOR",
+    ] {
+        let mut sk = Skelly::noisy(1).expect("skelly builds");
+        let arity = sk.arity_named(gate);
+        let inputs = vec![true; arity];
+        group.bench_with_input(BenchmarkId::from_parameter(gate), &inputs, |b, inputs| {
+            b.iter(|| sk.execute_named(gate, inputs).expect("arity"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_registers(c: &mut Criterion) {
+    use uwm_core::layout::Layout;
+    use uwm_core::reg::{DcWr, WeirdRegister};
+    use uwm_sim::machine::{Machine, MachineConfig};
+
+    let mut m = Machine::new(MachineConfig::default(), 2);
+    let mut lay = Layout::new(m.predictor().alias_stride());
+    let reg = DcWr::build(&mut m, &mut lay).expect("layout available");
+    c.bench_function("dcwr_write_read", |b| {
+        b.iter(|| {
+            reg.write(&mut m, true);
+            let one = reg.read(&mut m);
+            reg.write(&mut m, false);
+            let zero = reg.read(&mut m);
+            (one, zero)
+        })
+    });
+}
+
+criterion_group!(benches, bench_gates, bench_registers);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 2: overview of weird-gate performance and accuracy.
+//!
+//! Usage: `cargo run --release -p uwm-bench --bin table2 [scale]`
+//! (scale 1.0 = the paper's 1M iterations per gate).
+
+use uwm_bench::{arg_scale, gate_performance, scaled};
+
+fn main() {
+    let scale = arg_scale();
+    let ops = scaled(1_000_000, scale);
+    println!("Table 2: Overview of various WG performance and accuracy");
+    println!("({ops} iterations per gate, default-noise machine)\n");
+    println!(
+        "{:<12} {:>10} {:>12} {:>16} {:>12} {:>10}",
+        "Weird Gate", "Iterations", "Exec Time(s)", "Executions/Sec", "SimCyc/Op", "Accuracy"
+    );
+    for (i, gate) in [
+        "AND",
+        "OR",
+        "NAND",
+        "AND_AND_OR",
+        "TSX_AND",
+        "TSX_OR",
+        "TSX_ASSIGN",
+        "TSX_XOR",
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let r = gate_performance(gate, ops, 0x72 + i as u64);
+        println!(
+            "{gate:<12} {:>10} {:>12.3} {:>16.0} {:>12.0} {:>9.4}%",
+            r.ops,
+            r.seconds,
+            r.execs_per_sec(),
+            r.cycles_per_op(),
+            r.accuracy() * 100.0
+        );
+    }
+    println!("\nExpected shape (paper): TSX gates are an order of magnitude");
+    println!("faster than BP/IC gates (no predictor retraining); accuracies");
+    println!("range 92-100% with TSX_XOR the lowest (three chained txns).");
+}

@@ -1,0 +1,25 @@
+//! Table 3 + Figure 6: number of trigger pings required for a successful
+//! wm_apt transform, over repeated arm-and-trigger experiments.
+//!
+//! Usage: `cargo run --release -p uwm-bench --bin table3_fig6 [scale]`
+//! (scale 1.0 = the paper's 100 experiments).
+
+use uwm_bench::stats::{ascii_histogram, Summary};
+use uwm_bench::{arg_scale, scaled, summary_header, summary_row, trigger_distribution};
+
+fn main() {
+    let experiments = scaled(100, arg_scale()) as u32;
+    println!("Table 3: Triggers required for successful wm_apt transform");
+    println!("({experiments} experiments, 192-bit pad, median-of-3 per bit)\n");
+    let counts = trigger_distribution(experiments, 500, 0x36);
+    let as64: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+    let s = Summary::from_samples(&as64);
+    println!("{}", summary_header(""));
+    println!("{}", summary_row("Triggers", &s));
+
+    println!("\nFigure 6: histogram of wm_apt triggers yielding successful transform\n");
+    print!("{}", ascii_histogram(&counts, 12, 50));
+
+    println!("\nExpected shape (paper): geometric-ish — Q1≈2, Med≈6, Q3≈11,");
+    println!("a long tail of unlucky runs (paper Max 69).");
+}

@@ -1,0 +1,54 @@
+//! Table 4: correct / incorrect gate executions in the 2-block SHA-1 hash
+//! experiment, with the paper's redundancy (s=10, k=3, n=5).
+//!
+//! Usage: `cargo run --release -p uwm-bench --bin table4 [runs]`
+//! (default 1 run; the paper ran 10 — each run is a full 2-block hash on
+//! weird gates and takes a while).
+
+use uwm_core::skelly::Redundancy;
+
+use uwm_bench::sha1_experiment;
+
+fn main() {
+    let runs = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u32);
+    // 100 bytes pads to exactly 2 SHA-1 blocks, like the paper's fixture.
+    let message = vec![b'w'; 100];
+    println!("Table 4: Correct / incorrect gate executions in 2-Block SHA-1 hash");
+    println!("(s=10, k=3, n=5; {runs} run(s), default-noise machine)\n");
+
+    let mut all_correct = true;
+    for run in 0..runs {
+        let r = sha1_experiment(&message, Redundancy::paper(), 0x34 + run as u64);
+        println!(
+            "run {}: hash {} in {:.1}s",
+            run + 1,
+            if r.correct { "CORRECT" } else { "INCORRECT" },
+            r.seconds
+        );
+        all_correct &= r.correct;
+        println!(
+            "{:<12} {:>28} {:>28}",
+            "", "Correct After Median", "Correct After Vote"
+        );
+        for (name, c) in &r.counters {
+            println!(
+                "{name:<12} {:>15}/{:<12} = {:.6} {:>13}/{:<8} = {:.6}",
+                c.medians_correct,
+                c.medians_total,
+                c.median_accuracy(),
+                c.votes_correct,
+                c.votes_total,
+                c.vote_accuracy()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Expected shape (paper): vote accuracy 1.000000 across all gate types\n\
+         (every run produced a correct hash); NAND executions dominate.\n\
+         All runs correct here: {all_correct}"
+    );
+}

@@ -1,0 +1,24 @@
+//! Table 5: BPU and instruction-cache weird-gate accuracy evaluation
+//! (320 000 random-input operations per gate).
+//!
+//! Usage: `cargo run --release -p uwm-bench --bin table5 [scale]`
+
+use uwm_bench::{arg_scale, gate_accuracy, scaled};
+
+fn main() {
+    let ops = scaled(320_000, arg_scale());
+    println!("Table 5: BPU and instruction cache weird gate accuracy evaluation");
+    println!("({ops} operations per gate, randomized inputs)\n");
+    println!("{:<6} {:>10} {:>10} {:>14}", "Gate", "Operations", "Correct", "Mean Accuracy");
+    for (i, gate) in ["AND", "OR"].into_iter().enumerate() {
+        let r = gate_accuracy(gate, ops, 0x75 + i as u64);
+        println!(
+            "{gate:<6} {:>10} {:>10} {:>14.8}",
+            r.ops,
+            r.correct,
+            r.accuracy()
+        );
+    }
+    println!("\nExpected shape (paper): both ≥ 0.9996 — BP/IC gates are the");
+    println!("accurate-but-slow family.");
+}

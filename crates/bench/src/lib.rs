@@ -1,0 +1,273 @@
+//! # uwm-bench — the evaluation harness
+//!
+//! Reusable experiment runners that regenerate every table and figure of
+//! the paper's evaluation (§6). Each `src/bin/table*.rs` binary prints one
+//! table in the paper's row format; the Criterion benches under `benches/`
+//! measure host-side throughput and ablations.
+//!
+//! | Experiment | Runner | Binary |
+//! |---|---|---|
+//! | Table 2 (gate perf + accuracy)     | [`gate_performance`]      | `table2` |
+//! | Table 3 + Fig 6 (trigger pings)    | [`trigger_distribution`]  | `table3_fig6` |
+//! | Table 4 (SHA-1 gate correctness)   | [`sha1_experiment`]       | `table4` |
+//! | Table 5 (BP/IC gate accuracy)      | [`gate_accuracy`]         | `table5` |
+//! | Figures 7–8 (timing KDEs)          | [`delay_histogram`]       | `fig7_fig8` |
+//! | Tables 6–7 (TSX read delays)       | [`delay_by_input`]        | `table6_table7` |
+//! | Table 8 (TSX accuracy + aborts)    | [`tsx_accuracy`]          | `table8` |
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod stats;
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use stats::Summary;
+use uwm_apps::wm_apt::{Payload, WmApt};
+use uwm_apps::UwmSha1;
+use uwm_core::skelly::{GateCounters, Redundancy, Skelly};
+use uwm_crypto::sha1;
+use uwm_sim::machine::MachineConfig;
+
+/// Scale factor for expensive experiments, read from the first CLI
+/// argument (`1.0` = the paper's sizes). Lets CI run `table2 0.01`.
+pub fn arg_scale() -> f64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
+}
+
+/// Scales an iteration count, keeping at least one.
+pub fn scaled(n: u64, scale: f64) -> u64 {
+    ((n as f64 * scale).round() as u64).max(1)
+}
+
+/// Result of a gate accuracy / throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct GateRun {
+    /// Gate executions performed.
+    pub ops: u64,
+    /// Executions whose output matched the reference truth.
+    pub correct: u64,
+    /// Host wall-clock seconds.
+    pub seconds: f64,
+    /// Simulated machine cycles consumed.
+    pub sim_cycles: u64,
+    /// Spurious transaction aborts observed (TSX gates only).
+    pub spurious_aborts: u64,
+}
+
+impl GateRun {
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        if self.ops == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.ops as f64
+        }
+    }
+
+    /// Host executions per second.
+    pub fn execs_per_sec(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.ops as f64 / self.seconds
+        }
+    }
+
+    /// Simulated cycles per execution.
+    pub fn cycles_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / self.ops as f64
+        }
+    }
+}
+
+/// Executes `gate` (by table name) `ops` times with random inputs on a
+/// default-noise machine and reports accuracy + throughput. This is the
+/// Table 2 / Table 5 / Table 8 measurement core.
+pub fn gate_run(sk: &mut Skelly, name: &str, ops: u64, seed: u64) -> GateRun {
+    let arity = sk.arity_named(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut correct = 0u64;
+    let aborts_before = sk.machine().stats().tx_spurious_aborts;
+    let cycles_before = sk.machine().cycles();
+    let start = Instant::now();
+    let mut inputs = vec![false; arity];
+    for _ in 0..ops {
+        for b in &mut inputs {
+            *b = rng.gen();
+        }
+        let r = sk.execute_named(name, &inputs).expect("arity matches");
+        if r.bit == sk.truth_named(name, &inputs) {
+            correct += 1;
+        }
+    }
+    GateRun {
+        ops,
+        correct,
+        seconds: start.elapsed().as_secs_f64(),
+        sim_cycles: sk.machine().cycles() - cycles_before,
+        spurious_aborts: sk.machine().stats().tx_spurious_aborts - aborts_before,
+    }
+}
+
+/// [`gate_run`] on a fresh default-noise machine.
+pub fn gate_performance(name: &str, ops: u64, seed: u64) -> GateRun {
+    let mut sk = Skelly::noisy(seed).expect("skelly builds");
+    gate_run(&mut sk, name, ops, seed ^ 0xBEEF)
+}
+
+/// Collects raw output-read delays of `gate` for one fixed input
+/// combination — the Tables 6–7 measurement.
+pub fn delay_by_input(sk: &mut Skelly, name: &str, inputs: &[bool], ops: u64) -> Vec<u64> {
+    (0..ops)
+        .map(|_| sk.execute_named(name, inputs).expect("arity matches").delay)
+        .collect()
+}
+
+/// Buckets `delays` for the Figure 7–8 "KDE" view: returns
+/// `(bucket_start, count)` pairs with the given bucket width.
+pub fn delay_histogram(delays: &[u64], bucket: u64) -> Vec<(u64, u64)> {
+    let mut map = std::collections::BTreeMap::new();
+    for &d in delays {
+        *map.entry(d / bucket * bucket).or_insert(0u64) += 1;
+    }
+    map.into_iter().collect()
+}
+
+/// TSX gate accuracy + spurious aborts over `ops` random-input executions
+/// (Table 8).
+pub fn tsx_accuracy(name: &str, ops: u64, seed: u64) -> GateRun {
+    gate_performance(name, ops, seed)
+}
+
+/// BP/IC gate accuracy over `ops` random-input executions (Table 5).
+pub fn gate_accuracy(name: &str, ops: u64, seed: u64) -> GateRun {
+    gate_performance(name, ops, seed)
+}
+
+/// Runs `experiments` arm-and-trigger experiments and returns the number
+/// of pings each needed before the payload fired (Table 3 / Figure 6).
+/// `cap` bounds each experiment so pathological noise cannot hang it.
+pub fn trigger_distribution(experiments: u32, cap: u32, seed: u64) -> Vec<u32> {
+    let mut counts = Vec::with_capacity(experiments as usize);
+    for e in 0..experiments {
+        let (mut apt, trigger) =
+            WmApt::new(seed.wrapping_add(e as u64), Payload::ReverseShell).expect("apt builds");
+        let mut pings = 0u32;
+        loop {
+            pings += 1;
+            if apt.ping(&trigger).triggered || pings >= cap {
+                break;
+            }
+        }
+        counts.push(pings);
+    }
+    counts
+}
+
+/// Result of one SHA-1-on-μWM experiment run (Table 4).
+#[derive(Debug, Clone)]
+pub struct Sha1Experiment {
+    /// Digest produced by the weird machine.
+    pub digest: [u8; 20],
+    /// Whether it matches the architectural reference.
+    pub correct: bool,
+    /// Host seconds for the hash.
+    pub seconds: f64,
+    /// Per-gate counters accumulated during the run.
+    pub counters: Vec<(&'static str, GateCounters)>,
+}
+
+/// Hashes `message` on weird gates with the given redundancy under
+/// default noise, and reports per-gate median/vote correctness — the
+/// Table 4 experiment.
+pub fn sha1_experiment(message: &[u8], red: Redundancy, seed: u64) -> Sha1Experiment {
+    sha1_experiment_cfg(MachineConfig::default(), message, red, seed)
+}
+
+/// [`sha1_experiment`] with an explicit machine configuration.
+pub fn sha1_experiment_cfg(
+    cfg: MachineConfig,
+    message: &[u8],
+    red: Redundancy,
+    seed: u64,
+) -> Sha1Experiment {
+    let mut sk = Skelly::new(cfg, seed).expect("skelly builds");
+    sk.set_redundancy(red);
+    let start = Instant::now();
+    let digest = UwmSha1::new(&mut sk).hash(message);
+    let seconds = start.elapsed().as_secs_f64();
+    Sha1Experiment {
+        digest,
+        correct: digest == sha1(message),
+        seconds,
+        counters: sk.counters().iter().map(|(n, c)| (n, *c)).collect(),
+    }
+}
+
+/// Formats a [`Summary`] like the paper's Min/Q1/Med/Q3/Max/σ rows.
+pub fn summary_row(label: &str, s: &Summary) -> String {
+    format!(
+        "{label:<12} {:>6} {:>6} {:>6} {:>6} {:>8} {:>12.4} {:>12.4}",
+        s.min, s.q1, s.median, s.q3, s.max, s.std_dev, s.mean
+    )
+}
+
+/// Header matching [`summary_row`].
+pub fn summary_header(first_col: &str) -> String {
+    format!(
+        "{first_col:<12} {:>6} {:>6} {:>6} {:>6} {:>8} {:>12} {:>12}",
+        "Min", "Q1", "Med", "Q3", "Max", "StdDev", "Mean"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_run_counts_and_times() {
+        let mut sk = Skelly::quiet(0).unwrap();
+        let r = gate_run(&mut sk, "TSX_AND", 50, 1);
+        assert_eq!(r.ops, 50);
+        assert_eq!(r.correct, 50, "quiet machine is exact");
+        assert!(r.sim_cycles > 0);
+        assert!((r.accuracy() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn delay_histogram_buckets() {
+        let h = delay_histogram(&[1, 2, 3, 100, 101, 250], 50);
+        assert_eq!(h, vec![(0, 3), (100, 2), (250, 1)]);
+    }
+
+    #[test]
+    fn trigger_distribution_quiet_cap() {
+        let counts = trigger_distribution(2, 50, 1000);
+        assert_eq!(counts.len(), 2);
+        assert!(counts.iter().all(|&c| c >= 1 && c <= 50));
+    }
+
+    #[test]
+    fn scaled_floors_at_one() {
+        assert_eq!(scaled(1_000_000, 0.000_000_1), 1);
+        assert_eq!(scaled(100, 0.5), 50);
+    }
+
+    #[test]
+    fn sha1_experiment_small_quick() {
+        // One-block message, quiet machine: fast smoke test of the runner.
+        let r = sha1_experiment_cfg(MachineConfig::quiet(), b"a", Redundancy::default(), 4);
+        assert!(r.correct);
+        assert!(r.counters.iter().any(|(n, _)| *n == "NAND"));
+    }
+}

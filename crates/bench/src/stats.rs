@@ -1,0 +1,128 @@
+//! Order statistics for delay distributions (the Min/Q1/Med/Q3/Max/σ/mean
+//! rows of the paper's Tables 3, 6 and 7).
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Smallest sample.
+    pub min: u64,
+    /// First quartile (nearest-rank).
+    pub q1: u64,
+    /// Median (nearest-rank).
+    pub median: u64,
+    /// Third quartile (nearest-rank).
+    pub q3: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes the summary of `samples`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let pick = |q: f64| sorted[((n as f64 - 1.0) * q).round() as usize];
+        let mean = sorted.iter().sum::<u64>() as f64 / n as f64;
+        let var = sorted
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        Self {
+            min: sorted[0],
+            q1: pick(0.25),
+            median: pick(0.5),
+            q3: pick(0.75),
+            max: sorted[n - 1],
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Renders an ASCII histogram (the Figure 6 view) of integer samples.
+pub fn ascii_histogram(samples: &[u32], buckets: usize, width: usize) -> String {
+    if samples.is_empty() {
+        return String::new();
+    }
+    let max = *samples.iter().max().expect("nonempty") as usize;
+    let bucket_size = (max / buckets).max(1);
+    let mut counts = vec![0usize; max / bucket_size + 1];
+    for &s in samples {
+        counts[s as usize / bucket_size] += 1;
+    }
+    let peak = *counts.iter().max().expect("nonempty").max(&1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let bar = "#".repeat(c * width / peak);
+        out.push_str(&format!(
+            "{:>4}-{:<4} | {:<width$} {}\n",
+            i * bucket_size,
+            (i + 1) * bucket_size - 1,
+            bar,
+            c,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[1, 2, 3, 4, 5]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.q1, 2);
+        assert_eq!(s.q3, 4);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_element() {
+        let s = Summary::from_samples(&[7]);
+        assert_eq!((s.min, s.median, s.max), (7, 7, 7));
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_is_order_invariant() {
+        let a = Summary::from_samples(&[5, 1, 4, 2, 3]);
+        let b = Summary::from_samples(&[1, 2, 3, 4, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn summary_empty_panics() {
+        let _ = Summary::from_samples(&[]);
+    }
+
+    #[test]
+    fn histogram_renders_all_samples() {
+        let h = ascii_histogram(&[1, 1, 2, 9], 3, 20);
+        assert!(h.contains('#'));
+        let total: usize = h
+            .lines()
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<usize>().ok())
+            .sum();
+        assert_eq!(total, 4);
+    }
+}

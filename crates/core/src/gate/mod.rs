@@ -1,0 +1,99 @@
+//! Weird gates (§3.2): boolean logic computed by microarchitectural races.
+//!
+//! Two families are implemented, mirroring the paper:
+//!
+//! * [`bp`] — gates built from intentional branch mispredictions racing the
+//!   speculative window against instruction-cache residency (Figures 1–2).
+//!   Accurate (Table 5) but slow: every activation retrains the predictor.
+//! * [`tsx`] — gates built from post-fault speculative execution inside
+//!   aborted transactions (Figure 3, §4). Fast and composable into
+//!   [weird circuits](crate::circuit) with no architectural intermediates.
+//!
+//! Every gate's boolean function is *never* computed by an architectural
+//! instruction: the inputs select which cache fills win a race, and the
+//! output is a cache line's residency.
+
+pub mod bp;
+pub mod tsx;
+
+use crate::error::{CoreError, Result};
+use uwm_sim::machine::Machine;
+
+/// Default decision threshold (cycles) separating hit-like from miss-like
+/// output reads, `rdtscp` overhead included. See
+/// [`crate::skelly::calibrate_threshold`] for a machine-specific value.
+pub const READ_THRESHOLD: u64 = 130;
+
+/// Common interface over all weird gates.
+///
+/// The inherent methods of each gate type (e.g.
+/// [`bp::BpAnd::execute`]) are the ergonomic API; this trait exists for
+/// generic harnesses (accuracy sweeps, redundancy voting, benchmarks).
+pub trait WeirdGate {
+    /// Gate name as used in the paper's tables (e.g. `"AND"`, `"TSX_XOR"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of boolean inputs.
+    fn arity(&self) -> usize;
+
+    /// Reference boolean semantics (ground truth for accuracy counting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()`.
+    fn truth(&self, inputs: &[bool]) -> bool;
+
+    /// Full gate protocol: initialize outputs, store `inputs` into the
+    /// input weird registers, activate the gate, read the output register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] when `inputs.len() != self.arity()`.
+    fn execute(&self, m: &mut Machine, inputs: &[bool]) -> Result<bool> {
+        Ok(self.execute_timed(m, inputs)?.bit)
+    }
+
+    /// Like [`WeirdGate::execute`], but also reports the raw output-read
+    /// delay (the measurement behind Tables 6–7 and Figures 7–8).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] when `inputs.len() != self.arity()`.
+    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading>;
+}
+
+/// Result of one timed gate execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateReading {
+    /// The logic value read from the output weird register.
+    pub bit: bool,
+    /// Raw read delay in cycles.
+    pub delay: u64,
+}
+
+/// Validates an input slice against a gate's arity.
+pub(crate) fn check_arity(gate: &'static str, expected: usize, inputs: &[bool]) -> Result<()> {
+    if inputs.len() == expected {
+        Ok(())
+    } else {
+        Err(CoreError::Arity {
+            gate,
+            expected,
+            got: inputs.len(),
+        })
+    }
+}
+
+/// Exhaustive truth-table check of a gate under quiet noise; returns the
+/// first failing input combination, if any. Test/diagnostic helper.
+pub fn verify_truth_table(gate: &dyn WeirdGate, m: &mut Machine) -> Result<Option<Vec<bool>>> {
+    let n = gate.arity();
+    for bits in 0..(1u32 << n) {
+        let inputs: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+        let got = gate.execute(m, &inputs)?;
+        if got != gate.truth(&inputs) {
+            return Ok(Some(inputs));
+        }
+    }
+    Ok(None)
+}

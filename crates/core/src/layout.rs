@@ -1,0 +1,187 @@
+//! Address-space layout for weird machines.
+//!
+//! The paper's `skelly` framework "identifies and maps a dedicated portion
+//! of memory at cache-aligned addresses for each WG" (§6.2) because gates
+//! are extremely sensitive to line sharing and predictor aliasing. This
+//! module is that mapper:
+//!
+//! * **variables** — each weird-register variable gets a private 64-byte
+//!   cache line in the data region, so `clflush` never evicts a neighbour;
+//! * **gate code** — gate bodies live in a window smaller than the
+//!   direction predictor's alias stride, so each gate's branch can be
+//!   paired with a *training branch* exactly one stride away that shares
+//!   its predictor slot without sharing its code;
+//! * **application code** — ordinary programs (drivers, payload stubs) go
+//!   to a separate region far away from both.
+
+use crate::error::{CoreError, Result};
+use uwm_sim::cache::LINE_SIZE;
+
+/// Base of the weird-register variable region.
+pub const DATA_BASE: u64 = 0x0010_0000;
+/// End of the variable region (exclusive).
+pub const DATA_LIMIT: u64 = 0x00F0_0000;
+/// Base of the gate-code window.
+pub const GATE_CODE_BASE: u64 = 0x0100_0000;
+/// Base of the application-code region.
+pub const APP_CODE_BASE: u64 = 0x0200_0000;
+/// End of the application-code region (exclusive).
+pub const APP_CODE_LIMIT: u64 = 0x0300_0000;
+
+/// Allocates cache-line-aligned variables and code blocks.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_core::layout::Layout;
+/// let mut lay = Layout::new(8192);
+/// let a = lay.alloc_var().unwrap();
+/// let b = lay.alloc_var().unwrap();
+/// assert_eq!(a % 64, 0);
+/// assert!(b >= a + 64, "each variable owns a full line");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next_var: u64,
+    next_gate_code: u64,
+    next_app_code: u64,
+    /// Distance (bytes) between two branches sharing a predictor slot.
+    alias_stride: u64,
+}
+
+impl Layout {
+    /// Creates a layout for a machine whose direction predictor has the
+    /// given alias stride (see
+    /// [`DirectionPredictor::alias_stride`](uwm_sim::branch::DirectionPredictor::alias_stride)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alias_stride` is zero or not line-aligned.
+    pub fn new(alias_stride: u64) -> Self {
+        assert!(alias_stride > 0 && alias_stride % LINE_SIZE == 0);
+        Self {
+            next_var: DATA_BASE,
+            next_gate_code: GATE_CODE_BASE,
+            next_app_code: APP_CODE_BASE,
+            alias_stride,
+        }
+    }
+
+    /// Allocates one weird-register variable: a private, line-aligned
+    /// address whose cache line is shared with nothing else.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LayoutExhausted`] when the variable region is
+    /// full.
+    pub fn alloc_var(&mut self) -> Result<u64> {
+        if self.next_var + LINE_SIZE > DATA_LIMIT {
+            return Err(CoreError::LayoutExhausted { region: "variables" });
+        }
+        let at = self.next_var;
+        self.next_var += LINE_SIZE;
+        Ok(at)
+    }
+
+    /// Allocates a line-aligned block of gate code of `bytes` bytes. The
+    /// whole gate window must stay below the predictor alias stride so
+    /// every gate branch has a usable training alias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LayoutExhausted`] when the gate window is full.
+    pub fn alloc_gate_code(&mut self, bytes: u64) -> Result<u64> {
+        let rounded = bytes.div_ceil(LINE_SIZE) * LINE_SIZE;
+        if self.next_gate_code + rounded > GATE_CODE_BASE + self.alias_stride {
+            return Err(CoreError::LayoutExhausted { region: "gate code" });
+        }
+        let at = self.next_gate_code;
+        self.next_gate_code += rounded;
+        Ok(at)
+    }
+
+    /// Allocates a line-aligned block of ordinary application code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::LayoutExhausted`] when the region is full.
+    pub fn alloc_app_code(&mut self, bytes: u64) -> Result<u64> {
+        let rounded = bytes.div_ceil(LINE_SIZE) * LINE_SIZE;
+        if self.next_app_code + rounded > APP_CODE_LIMIT {
+            return Err(CoreError::LayoutExhausted { region: "app code" });
+        }
+        let at = self.next_app_code;
+        self.next_app_code += rounded;
+        Ok(at)
+    }
+
+    /// The training-branch address aliasing the gate branch at `gate_pc`:
+    /// one predictor stride away, in code the gate never executes.
+    pub fn train_alias(&self, gate_pc: u64) -> u64 {
+        gate_pc + self.alias_stride
+    }
+
+    /// The alias stride this layout was built for.
+    pub fn alias_stride(&self) -> u64 {
+        self.alias_stride
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vars_are_line_disjoint() {
+        let mut l = Layout::new(8192);
+        let a = l.alloc_var().unwrap();
+        let b = l.alloc_var().unwrap();
+        assert_ne!(a / LINE_SIZE, b / LINE_SIZE);
+    }
+
+    #[test]
+    fn gate_code_rounds_to_lines() {
+        let mut l = Layout::new(8192);
+        let a = l.alloc_gate_code(1).unwrap();
+        let b = l.alloc_gate_code(65).unwrap();
+        assert_eq!(b - a, 64);
+        let c = l.alloc_gate_code(64).unwrap();
+        assert_eq!(c - b, 128);
+    }
+
+    #[test]
+    fn gate_window_bounded_by_alias_stride() {
+        let mut l = Layout::new(256);
+        assert!(l.alloc_gate_code(256).is_ok());
+        assert!(matches!(
+            l.alloc_gate_code(64),
+            Err(CoreError::LayoutExhausted { region: "gate code" })
+        ));
+    }
+
+    #[test]
+    fn train_alias_is_one_stride_away() {
+        let l = Layout::new(8192);
+        assert_eq!(l.train_alias(GATE_CODE_BASE), GATE_CODE_BASE + 8192);
+    }
+
+    #[test]
+    fn var_region_exhausts() {
+        let mut l = Layout::new(8192);
+        let capacity = (DATA_LIMIT - DATA_BASE) / LINE_SIZE;
+        for _ in 0..capacity {
+            l.alloc_var().unwrap();
+        }
+        assert!(l.alloc_var().is_err());
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut l = Layout::new(8192);
+        let v = l.alloc_var().unwrap();
+        let g = l.alloc_gate_code(64).unwrap();
+        let a = l.alloc_app_code(64).unwrap();
+        assert!(v < g && g < a);
+        assert!(l.train_alias(g) < APP_CODE_BASE);
+    }
+}

@@ -1,0 +1,52 @@
+//! # uwm-core — microarchitectural weird machines
+//!
+//! A reproduction of the computational framework of *Computing with Time:
+//! Microarchitectural Weird Machines* (Evtyushkin et al., ASPLOS '21) on
+//! top of the [`uwm_sim`] simulated CPU:
+//!
+//! * [`reg`] — **weird registers**: one-bit storage in cache residency,
+//!   predictor state, and contention (the paper's Table 1);
+//! * [`gate`] — **weird gates**: boolean logic computed by racing
+//!   speculative windows against cache latencies (Figures 1–3);
+//! * [`circuit`] — **weird circuits**: serial TSX-gate compositions whose
+//!   intermediate values never exist architecturally (§4);
+//! * [`skelly`] — the reliability/ergonomics framework of §6.2: layout
+//!   management, threshold calibration, median-and-vote redundancy, and
+//!   32-bit logic including the full adder used by the SHA-1 demo.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use uwm_core::skelly::Skelly;
+//!
+//! let mut sk = Skelly::quiet(0).unwrap();
+//! // A logical AND computed entirely by microarchitectural side effects:
+//! assert!(sk.and(true, true));
+//! assert!(!sk.and(true, false));
+//! // 32-bit addition on weird gates (no architectural `add` combines bits):
+//! assert_eq!(sk.add32(40, 2), 42);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod circuit;
+pub mod error;
+pub mod gate;
+pub mod layout;
+pub mod reg;
+pub mod skelly;
+
+pub use error::{CoreError, Result};
+
+/// Convenient re-exports of the most used types.
+pub mod prelude {
+    pub use crate::circuit::{Circuit, CircuitBuilder, Wire};
+    pub use crate::error::{CoreError, Result};
+    pub use crate::gate::bp::{BpAnd, BpAndAndOr, BpNand, BpOr};
+    pub use crate::gate::tsx::{TsxAnd, TsxAndOr, TsxAssign, TsxNot, TsxOr, TsxXor};
+    pub use crate::gate::{GateReading, WeirdGate};
+    pub use crate::layout::Layout;
+    pub use crate::reg::{BpWr, BtbWr, DcWr, IcWr, MulWr, RobWr, VmxWr, WeirdRegister};
+    pub use crate::skelly::{Redundancy, Skelly};
+}

@@ -1,0 +1,92 @@
+//! Weird registers (§3.1): data stored in microarchitectural state.
+//!
+//! Each type here realizes one row of the paper's Table 1. A weird register
+//! is written by *doing things* to the machine (touching, flushing,
+//! training, contending) and read by *timing things* — never by reading an
+//! architectural location. Reads are invasive: they usually destroy or
+//! perturb the stored value ("state decoherence").
+
+mod branch;
+mod cache;
+mod contention;
+
+pub use branch::{BpWr, BtbWr};
+pub use cache::{DcWr, IcWr};
+pub use contention::{MulWr, RobWr, VmxWr};
+
+use uwm_sim::machine::Machine;
+
+/// A one-bit storage entity encoded in microarchitectural state.
+///
+/// Implementations differ in which MA resource they use, how volatile the
+/// stored value is, and how invasive a read is — see the paper's Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_core::layout::Layout;
+/// use uwm_core::reg::{DcWr, WeirdRegister};
+/// use uwm_sim::machine::{Machine, MachineConfig};
+///
+/// let mut m = Machine::new(MachineConfig::quiet(), 0);
+/// let mut lay = Layout::new(m.predictor().alias_stride());
+/// let r = DcWr::build(&mut m, &mut lay).unwrap();
+/// r.write(&mut m, true);
+/// assert!(r.read(&mut m));
+/// r.write(&mut m, false);
+/// assert!(!r.read(&mut m));
+/// ```
+pub trait WeirdRegister {
+    /// Stores `bit` into the MA resource.
+    fn write(&self, m: &mut Machine, bit: bool);
+
+    /// Recovers the stored bit by timing an operation. **Invasive**: the
+    /// read itself changes MA state (usually toward `1` for cache-residency
+    /// registers).
+    fn read(&self, m: &mut Machine) -> bool;
+
+    /// Short human-readable name ("dc", "ic", "bp", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Splits hit-like from miss-like delays. `delay < threshold` reads as
+/// logic 1 for residency-style registers (cached = fast = 1).
+pub fn delay_to_bit(delay: u64, threshold: u64) -> bool {
+    delay < threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::Layout;
+    use uwm_sim::machine::MachineConfig;
+
+    /// All seven WR types satisfy the round-trip contract under quiet noise.
+    #[test]
+    fn all_registers_round_trip() {
+        let mut m = Machine::new(MachineConfig::quiet(), 0);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        let regs: Vec<Box<dyn WeirdRegister>> = vec![
+            Box::new(DcWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(IcWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(BpWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(BtbWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(MulWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(RobWr::build(&mut m, &mut lay).unwrap()),
+            Box::new(VmxWr::build(&mut m, &mut lay).unwrap()),
+        ];
+        for r in &regs {
+            for &bit in &[false, true, true, false] {
+                r.write(&mut m, bit);
+                assert_eq!(r.read(&mut m), bit, "register `{}` bit {bit}", r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn delay_to_bit_threshold() {
+        assert!(delay_to_bit(4, 100));
+        assert!(!delay_to_bit(200, 100));
+        assert!(!delay_to_bit(100, 100), "boundary counts as miss");
+    }
+}

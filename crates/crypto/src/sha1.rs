@@ -1,0 +1,251 @@
+//! SHA-1 (RFC 3174), incremental and one-shot.
+//!
+//! SHA-1 is cryptographically broken for collision resistance; it is used
+//! here because the *paper* uses it — as a complexity benchmark for μWM
+//! computation (§5.2) and as the hash in the Sharif-style conditional-code
+//! obfuscation scheme the paper extends.
+
+/// Initial hash state (FIPS 180-1 §7).
+pub const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Per-round constants, one per 20-round stage.
+pub const K: [u32; 4] = [0x5A82_7999, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6];
+
+/// Incremental SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_crypto::sha1::Sha1;
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize(),
+///     [0xa9, 0x99, 0x3e, 0x36, 0x47, 0x06, 0x81, 0x6a, 0xba, 0x3e,
+///      0x25, 0x71, 0x78, 0x50, 0xc2, 0x6c, 0x9c, 0xd0, 0xd8, 0x9d]
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_bytes: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Self {
+            state: H0,
+            buffer: [0; 64],
+            buffered: 0,
+            total_bytes: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_bytes += data.len() as u64;
+        let mut rest = data;
+        if self.buffered > 0 {
+            let take = rest.len().min(64 - self.buffered);
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            rest = tail;
+        }
+        self.buffer[..rest.len()].copy_from_slice(rest);
+        self.buffered = rest.len();
+    }
+
+    /// Pads, finishes, and returns the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.total_bytes * 8;
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        let mut block = self.buffer;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&block);
+        let mut out = [0u8; 20];
+        for (i, w) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        self.state = compress_block(self.state, block);
+    }
+
+    /// Pads `message` into 64-byte blocks — exposed so the μWM SHA-1 can
+    /// share exactly this preprocessing and differ only in the compression
+    /// arithmetic.
+    pub fn pad_blocks(message: &[u8]) -> Vec<[u8; 64]> {
+        let bit_len = (message.len() as u64) * 8;
+        let mut padded = message.to_vec();
+        padded.push(0x80);
+        while padded.len() % 64 != 56 {
+            padded.push(0);
+        }
+        padded.extend_from_slice(&bit_len.to_be_bytes());
+        padded
+            .chunks_exact(64)
+            .map(|c| c.try_into().expect("64-byte block"))
+            .collect()
+    }
+}
+
+/// The SHA-1 round function selector for round `t`.
+pub fn f(t: usize, b: u32, c: u32, d: u32) -> u32 {
+    match t / 20 {
+        0 => (b & c) | (!b & d),          // Ch
+        1 | 3 => b ^ c ^ d,               // Parity
+        2 => (b & c) | (b & d) | (c & d), // Maj
+        _ => unreachable!("t < 80"),
+    }
+}
+
+/// One SHA-1 compression over `block`, starting from `state`.
+pub fn compress_block(state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+    let mut w = [0u32; 80];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+    }
+    for t in 16..80 {
+        w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = state;
+    for (t, &wt) in w.iter().enumerate() {
+        let temp = a
+            .rotate_left(5)
+            .wrapping_add(f(t, b, c, d))
+            .wrapping_add(e)
+            .wrapping_add(wt)
+            .wrapping_add(K[t / 20]);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = temp;
+    }
+    [
+        state[0].wrapping_add(a),
+        state[1].wrapping_add(b),
+        state[2].wrapping_add(c),
+        state[3].wrapping_add(d),
+        state[4].wrapping_add(e),
+    ]
+}
+
+/// One-shot SHA-1.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_crypto::sha1;
+/// assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+pub fn sha1(message: &[u8]) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(message);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_vectors() {
+        let cases: [(&[u8], &str); 4] = [
+            (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+            (
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                "84983e441c3bd26ebaae4aa1f95129e5e54670f1",
+            ),
+            (b"a", "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8"),
+            (
+                b"01234567012345670123456701234567012345670123456701234567012345670123456701234567",
+                "4c55a3147b8b6da19b24e0a2a6c91c05c9b18e56",
+            ),
+        ];
+        for (msg, want) in cases {
+            assert_eq!(hex(&sha1(msg)), want, "message {msg:?}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        for _ in 0..1000 {
+            h.update(&[b'a'; 1000]);
+        }
+        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let msg = b"the quick brown fox jumps over the lazy dog!!!";
+        for split in 0..msg.len() {
+            let mut h = Sha1::new();
+            h.update(&msg[..split]);
+            h.update(&msg[split..]);
+            assert_eq!(h.finalize(), sha1(msg), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn pad_blocks_matches_hasher() {
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let blocks = Sha1::pad_blocks(&msg);
+            let mut state = H0;
+            for b in &blocks {
+                state = compress_block(state, b);
+            }
+            let mut out = [0u8; 20];
+            for (i, w) in state.iter().enumerate() {
+                out[4 * i..4 * i + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            assert_eq!(out, sha1(&msg), "len {len}");
+        }
+    }
+
+    #[test]
+    fn two_block_message_has_two_plus_blocks() {
+        // The paper's Table 4 is a "2-Block SHA-1 hash experiment".
+        let msg = vec![b'x'; 100];
+        assert_eq!(Sha1::pad_blocks(&msg).len(), 2);
+    }
+
+    #[test]
+    fn round_function_stages() {
+        assert_eq!(f(0, 0xFFFF_FFFF, 0x1234_5678, 0), 0x1234_5678, "Ch picks c");
+        assert_eq!(f(25, 1, 2, 4), 7, "parity xors");
+        assert_eq!(f(45, 3, 5, 6), 7, "majority");
+        assert_eq!(f(65, 1, 2, 4), 7, "parity again");
+    }
+}

@@ -1,0 +1,1406 @@
+//! The simulated machine: fetch/execute engine with branch-mispredict
+//! speculation, TSX transactions with post-fault speculative windows, and a
+//! cycle counter whose variations carry the μWM's data.
+//!
+//! Two execution models are supported:
+//!
+//! * [`ExecutionModel::Microarchitectural`] — the full model. Caches,
+//!   predictors, speculative windows and contention all modulate timing.
+//! * [`ExecutionModel::Flat`] — an "emulator": architecturally identical,
+//!   but every operation takes a fixed latency and nothing is speculated.
+//!   μWM computations degenerate on it, which is the paper's
+//!   emulation-detection use case (§2.1).
+
+use std::fmt;
+
+use crate::branch::{Btb, DirectionPredictor, PredictorKind};
+use crate::contention::Contention;
+use crate::hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
+use crate::isa::{brz_target, AluOp, Inst, Operand, Program, Reg, INST_SIZE, NUM_REGS};
+use crate::memory::Memory;
+use crate::timing::{LatencyConfig, NoiseConfig, NoiseGen};
+use crate::trace::{ArchEvent, Tracer};
+
+/// Maximum number of instructions executed inside one speculative window,
+/// regardless of timing (hardware bounds this by ROB capacity).
+pub const MAX_SPEC_INSTS: usize = 256;
+
+/// Whether the machine models the microarchitecture or emulates flatly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecutionModel {
+    /// Full MA modelling (caches, speculation, TSX windows, contention).
+    #[default]
+    Microarchitectural,
+    /// Flat emulation: fixed latencies, no speculation, no MA state. This
+    /// is what a conventional emulator/analyzer implements.
+    Flat,
+}
+
+/// Machine construction parameters.
+#[derive(Debug, Clone, Default)]
+pub struct MachineConfig {
+    /// Operation latencies.
+    pub latency: LatencyConfig,
+    /// Disturbance model.
+    pub noise: NoiseConfig,
+    /// Cache geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Direction-predictor scheme.
+    pub predictor: PredictorKind,
+    /// Execution model.
+    pub model: ExecutionModel,
+}
+
+impl MachineConfig {
+    /// A noise-free configuration, for deterministic logic tests.
+    pub fn quiet() -> Self {
+        Self {
+            noise: NoiseConfig::quiet(),
+            ..Self::default()
+        }
+    }
+
+    /// A flat "emulator" configuration (see [`ExecutionModel::Flat`]).
+    pub fn flat() -> Self {
+        Self {
+            model: ExecutionModel::Flat,
+            noise: NoiseConfig::quiet(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a fault occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultCause {
+    /// Division by zero.
+    DivByZero,
+    /// Undecodable or unassigned instruction encoding.
+    InvalidInstruction,
+    /// `Xend` with no open transaction, or nested `Xbegin`.
+    TxMisuse,
+}
+
+impl fmt::Display for FaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultCause::DivByZero => write!(f, "division by zero"),
+            FaultCause::InvalidInstruction => write!(f, "invalid instruction"),
+            FaultCause::TxMisuse => write!(f, "transaction misuse"),
+        }
+    }
+}
+
+/// How a [`Machine::run_at`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// `Halt` executed.
+    Halted,
+    /// A fault occurred outside any transaction.
+    Fault {
+        /// Faulting instruction address.
+        pc: u64,
+        /// Fault classification.
+        cause: FaultCause,
+    },
+    /// The step budget was exhausted (runaway program).
+    StepLimit,
+}
+
+/// Statistics the machine accumulates (not architecturally visible).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Committed (non-speculative) instructions.
+    pub committed_insts: u64,
+    /// Instructions executed on squashed speculative paths.
+    pub speculative_insts: u64,
+    /// Branch mispredictions.
+    pub mispredicts: u64,
+    /// Transactions begun.
+    pub tx_begun: u64,
+    /// Transactions aborted (fault or spurious).
+    pub tx_aborted: u64,
+    /// Spurious (noise-injected) transaction aborts.
+    pub tx_spurious_aborts: u64,
+}
+
+/// State saved while a transaction is open.
+#[derive(Debug, Clone)]
+struct TxState {
+    handler: u64,
+    saved_regs: [u64; NUM_REGS],
+    /// `(addr, previous value)` undo log for 64-bit stores.
+    undo_log: Vec<(u64, u64)>,
+    /// This transaction was doomed at `Xbegin` by the noise model.
+    doomed: bool,
+}
+
+/// The simulated CPU.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_sim::isa::{Assembler, Inst, Operand};
+/// use uwm_sim::machine::{Machine, MachineConfig, RunOutcome};
+///
+/// let mut m = Machine::new(MachineConfig::quiet(), 0);
+/// let mut a = Assembler::new(0x1000);
+/// a.push(Inst::Mov { dst: 0, src: Operand::Imm(21) });
+/// a.push(Inst::Alu { op: uwm_sim::isa::AluOp::Add, dst: 0, a: 0, b: Operand::Reg(0) });
+/// a.push(Inst::Halt);
+/// m.load_program(a.finish().unwrap());
+/// assert_eq!(m.run_at(0x1000), RunOutcome::Halted);
+/// assert_eq!(m.reg(0), 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    cfg: MachineConfig,
+    regs: [u64; NUM_REGS],
+    mem: Memory,
+    hier: Hierarchy,
+    bp: DirectionPredictor,
+    btb: Btb,
+    contention: Contention,
+    noise: NoiseGen,
+    tracer: Tracer,
+    program: Program,
+    cycles: u64,
+    tx: Option<TxState>,
+    stats: MachineStats,
+    step_limit: u64,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration and noise seed.
+    pub fn new(cfg: MachineConfig, seed: u64) -> Self {
+        Self {
+            regs: [0; NUM_REGS],
+            mem: Memory::new(),
+            hier: Hierarchy::new(cfg.hierarchy, seed),
+            bp: DirectionPredictor::new(cfg.predictor, 1024),
+            btb: Btb::new(512),
+            contention: Contention::new(),
+            noise: NoiseGen::new(cfg.noise.clone(), seed),
+            tracer: Tracer::disabled(),
+            program: Program::new(),
+            cycles: 0,
+            tx: None,
+            stats: MachineStats::default(),
+            step_limit: 10_000_000,
+            cfg,
+        }
+    }
+
+    /// Shorthand for a default-config machine with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(MachineConfig::default(), seed)
+    }
+
+    // ------------------------------------------------------------------
+    // Program and memory management
+    // ------------------------------------------------------------------
+
+    /// Replaces the loaded program.
+    pub fn load_program(&mut self, program: Program) {
+        self.program = program;
+    }
+
+    /// Merges additional code into the loaded program.
+    pub fn add_program(&mut self, program: Program) {
+        self.program.merge(program);
+    }
+
+    /// The loaded static program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Direct memory access (the "operating system" view; no MA effects).
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable direct memory access (no MA effects).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Reads register `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= NUM_REGS`.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r as usize]
+    }
+
+    /// Writes register `r` (no trace event; host-side setup).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r as usize] = value;
+    }
+
+    /// The current cycle counter.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// The architectural trace recorder.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the trace recorder (enable/clear).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Ground-truth MA state (tests / omniscient-analyzer experiments).
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// Ground-truth predictor state.
+    pub fn predictor(&self) -> &DirectionPredictor {
+        &self.bp
+    }
+
+    /// Sets the per-run step budget.
+    pub fn set_step_limit(&mut self, limit: u64) {
+        self.step_limit = limit;
+    }
+
+    /// Swaps the noise configuration (e.g. between experiment phases).
+    pub fn set_noise(&mut self, noise: NoiseConfig) {
+        self.noise.set_config(noise);
+    }
+
+    /// The latency configuration.
+    pub fn latency(&self) -> &LatencyConfig {
+        &self.cfg.latency
+    }
+
+    /// The execution model in effect.
+    pub fn model(&self) -> ExecutionModel {
+        self.cfg.model
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side MA helpers (equivalent to tiny setup programs)
+    // ------------------------------------------------------------------
+
+    /// `clflush addr` performed by the host harness.
+    pub fn flush_addr(&mut self, addr: u64) {
+        self.hier.flush(addr);
+        self.cycles += self.cfg.latency.clflush;
+    }
+
+    /// Touches `addr` as data (fills D-side caches), returning the access
+    /// latency in cycles — the timed-load read primitive of §3.1.
+    pub fn timed_read(&mut self, addr: u64) -> u64 {
+        let lat = self.data_access(addr, true);
+        self.cycles += lat;
+        lat
+    }
+
+    /// Timed load as a μWM would really perform it — an `rdtscp`-bracketed
+    /// load — so the returned delay includes the timestamp overhead, like
+    /// the delay columns of the paper's Tables 6–7.
+    pub fn timed_read_tsc(&mut self, addr: u64) -> u64 {
+        let lat = self.data_access(addr, true) + self.cfg.latency.rdtscp;
+        self.cycles += lat;
+        lat
+    }
+
+    /// Touches a code address (fills L1I path).
+    pub fn touch_code(&mut self, addr: u64) {
+        let lat = self.inst_access(addr);
+        self.cycles += lat;
+    }
+
+    /// Advances the cycle counter without doing anything (models idle
+    /// time; lets contention-based WRs decay).
+    pub fn idle(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Prefetches every code line in `[base, end)` into the I-cache —
+    /// run-time initialization of freshly assembled stubs, so their first
+    /// execution isn't perturbed by cold-fetch misses.
+    pub fn warm_code_range(&mut self, base: u64, end: u64) {
+        let mut line = base & !(crate::cache::LINE_SIZE - 1);
+        while line < end {
+            self.touch_code(line);
+            line += crate::cache::LINE_SIZE;
+        }
+    }
+
+    /// Resets MA state only: caches, predictors, contention. Architectural
+    /// registers/memory are untouched.
+    pub fn reset_ma(&mut self) {
+        self.hier.flush_all();
+        self.bp.reset();
+        self.btb.reset();
+        self.contention.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Latency helpers
+    // ------------------------------------------------------------------
+
+    fn level_latency(&self, level: HitLevel) -> u64 {
+        match level {
+            HitLevel::L1 => self.cfg.latency.l1,
+            HitLevel::L2 => self.cfg.latency.l2,
+            HitLevel::L3 => self.cfg.latency.l3,
+            HitLevel::Mem => self.cfg.latency.dram,
+        }
+    }
+
+    /// Non-speculative data access: fills caches, returns latency.
+    fn data_access(&mut self, addr: u64, timed: bool) -> u64 {
+        if self.cfg.model == ExecutionModel::Flat {
+            return self.cfg.latency.l1;
+        }
+        let level = self.hier.access_data(addr);
+        let mut lat = self.level_latency(level) + self.noise.mem_jitter();
+        if timed {
+            lat += self.noise.interrupt_spike();
+        }
+        lat
+    }
+
+    /// Non-speculative instruction fetch: fills L1I path, returns latency.
+    fn inst_access(&mut self, addr: u64) -> u64 {
+        if self.cfg.model == ExecutionModel::Flat {
+            return 1;
+        }
+        let level = self.hier.access_inst(addr);
+        self.level_latency(level) + self.noise.mem_jitter()
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Fetches the instruction at `pc`: from the static program if present,
+    /// otherwise decoded from simulated memory (dynamically written code).
+    fn fetch_inst(&self, pc: u64) -> Inst {
+        if let Some(i) = self.program.get(pc) {
+            return i;
+        }
+        let bytes = self.mem.read_bytes(pc, INST_SIZE as usize);
+        let arr: [u8; INST_SIZE as usize] = bytes.try_into().expect("INST_SIZE bytes");
+        Inst::decode(&arr)
+    }
+
+    fn operand(&self, regs: &[u64; NUM_REGS], op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => regs[r as usize],
+            Operand::Imm(i) => i as u64,
+        }
+    }
+
+    fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a << (b & 63),
+            AluOp::Shr => a >> (b & 63),
+        }
+    }
+
+    /// Runs the loaded program starting at `pc` until `Halt`, a fault
+    /// outside a transaction, or the step limit.
+    pub fn run_at(&mut self, mut pc: u64) -> RunOutcome {
+        let mut steps = 0u64;
+        loop {
+            if steps >= self.step_limit {
+                return RunOutcome::StepLimit;
+            }
+            steps += 1;
+            match self.step(pc) {
+                StepResult::Continue(next) => pc = next,
+                StepResult::Halted => return RunOutcome::Halted,
+                StepResult::Fault(cause) => {
+                    if self.tx.is_some() {
+                        pc = self.tsx_abort_with_window(pc, cause);
+                    } else {
+                        self.tracer.record(ArchEvent::Fault { pc });
+                        return RunOutcome::Fault { pc, cause };
+                    }
+                }
+            }
+        }
+    }
+
+    fn step(&mut self, pc: u64) -> StepResult {
+        self.cycles += self.inst_access(pc);
+        let inst = self.fetch_inst(pc);
+        self.stats.committed_insts += 1;
+        self.tracer.record(ArchEvent::Commit { pc, inst });
+        let lat = &self.cfg.latency;
+        let next = pc + INST_SIZE;
+        match inst {
+            Inst::Nop => {
+                self.cycles += lat.alu;
+                StepResult::Continue(next)
+            }
+            Inst::Halt => {
+                if self.tx.is_some() {
+                    // As on real hardware, a syscall-class event inside a
+                    // transaction aborts it; control resumes at the abort
+                    // handler instead of halting.
+                    let handler = self.tsx_abort_rollback(false);
+                    return StepResult::Continue(handler);
+                }
+                StepResult::Halted
+            }
+            Inst::Mov { dst, src } => {
+                let v = self.operand(&self.regs.clone(), src);
+                self.cycles += lat.alu;
+                self.write_reg(dst, v);
+                StepResult::Continue(next)
+            }
+            Inst::Alu { op, dst, a, b } => {
+                let regs = self.regs;
+                let v = Self::alu_eval(op, regs[a as usize], self.operand(&regs, b));
+                self.cycles += lat.alu;
+                self.write_reg(dst, v);
+                StepResult::Continue(next)
+            }
+            Inst::Mul { dst, a, b } => {
+                let regs = self.regs;
+                let v = regs[a as usize].wrapping_mul(self.operand(&regs, b));
+                if self.cfg.model == ExecutionModel::Microarchitectural {
+                    let delay = self.contention.mul_delay(self.cycles);
+                    self.cycles += lat.mul + delay;
+                    self.contention
+                        .pressure_mul(crate::contention::MUL_OCCUPANCY, self.cycles);
+                } else {
+                    self.cycles += lat.mul;
+                }
+                self.write_reg(dst, v);
+                StepResult::Continue(next)
+            }
+            Inst::Div { dst, a, b } => {
+                let regs = self.regs;
+                let divisor = self.operand(&regs, b);
+                if divisor == 0 {
+                    return StepResult::Fault(FaultCause::DivByZero);
+                }
+                self.cycles += lat.div;
+                self.write_reg(dst, regs[a as usize] / divisor);
+                StepResult::Continue(next)
+            }
+            Inst::Load { dst, addr } => {
+                let lat = self.data_access(addr as u64, true);
+                self.cycles += lat;
+                self.rob_pressure_on_miss(lat);
+                let v = self.mem.read_u64(addr as u64);
+                self.write_reg(dst, v);
+                StepResult::Continue(next)
+            }
+            Inst::LoadInd { dst, base, offset } => {
+                let addr = self.regs[base as usize].wrapping_add(offset as u64);
+                let lat = self.data_access(addr, true);
+                self.cycles += lat;
+                self.rob_pressure_on_miss(lat);
+                let v = self.mem.read_u64(addr);
+                self.write_reg(dst, v);
+                StepResult::Continue(next)
+            }
+            Inst::Store { addr, src } => {
+                self.commit_store(addr as u64, self.regs[src as usize]);
+                StepResult::Continue(next)
+            }
+            Inst::StoreInd { base, offset, src } => {
+                let addr = self.regs[base as usize].wrapping_add(offset as u64);
+                self.commit_store(addr, self.regs[src as usize]);
+                StepResult::Continue(next)
+            }
+            Inst::Flush { addr } => {
+                if self.cfg.model == ExecutionModel::Microarchitectural {
+                    self.hier.flush(addr as u64);
+                }
+                self.cycles += lat.clflush;
+                StepResult::Continue(next)
+            }
+            Inst::FlushInd { base, offset } => {
+                let addr = self.regs[base as usize].wrapping_add(offset as u64);
+                if self.cfg.model == ExecutionModel::Microarchitectural {
+                    self.hier.flush(addr);
+                }
+                self.cycles += lat.clflush;
+                StepResult::Continue(next)
+            }
+            Inst::TouchCode { addr } => {
+                let l = self.inst_access(addr as u64);
+                self.cycles += l;
+                StepResult::Continue(next)
+            }
+            Inst::Jmp { target } => {
+                self.account_jump(pc, target as u64);
+                StepResult::Continue(target as u64)
+            }
+            Inst::JmpInd { base } => {
+                let target = self.regs[base as usize];
+                self.account_jump(pc, target);
+                StepResult::Continue(target)
+            }
+            Inst::Brz { cond_addr, rel } => self.exec_branch(pc, cond_addr as u64, rel),
+            Inst::Rdtscp { dst } => {
+                self.cycles += lat.rdtscp + self.noise.interrupt_spike();
+                let now = self.cycles;
+                self.write_reg(dst, now);
+                StepResult::Continue(next)
+            }
+            Inst::Xbegin { handler } => {
+                if self.tx.is_some() {
+                    return StepResult::Fault(FaultCause::TxMisuse);
+                }
+                self.cycles += lat.xbegin;
+                self.stats.tx_begun += 1;
+                let doomed = self.cfg.model == ExecutionModel::Microarchitectural
+                    && self.noise.tsx_spurious_abort();
+                self.tx = Some(TxState {
+                    handler: handler as u64,
+                    saved_regs: self.regs,
+                    undo_log: Vec::new(),
+                    doomed,
+                });
+                self.tracer.begin_tx();
+                StepResult::Continue(next)
+            }
+            Inst::Xend => match self.tx.take() {
+                Some(tx) => {
+                    if tx.doomed {
+                        // Spurious abort surfaces at commit time.
+                        self.tx = Some(tx);
+                        let handler = self.tsx_abort_rollback(true);
+                        return StepResult::Continue(handler);
+                    }
+                    self.cycles += lat.xend;
+                    self.tracer.commit_tx();
+                    StepResult::Continue(next)
+                }
+                None => StepResult::Fault(FaultCause::TxMisuse),
+            },
+            Inst::Vmx => {
+                if self.cfg.model == ExecutionModel::Microarchitectural {
+                    let warm = self.contention.vmx_execute(self.cycles);
+                    self.cycles += if warm { lat.vmx_warm } else { lat.vmx_cold };
+                } else {
+                    self.cycles += lat.vmx_warm;
+                }
+                StepResult::Continue(next)
+            }
+            Inst::Fence => {
+                // A serializing instruction waits for the reorder buffer to
+                // drain: its latency exposes ROB pressure (Table 1's ROB
+                // contention weird register).
+                let stall = if self.cfg.model == ExecutionModel::Microarchitectural {
+                    self.contention.rob_stall(self.cycles)
+                } else {
+                    0
+                };
+                self.cycles += 20 + stall;
+                StepResult::Continue(next)
+            }
+            Inst::Invalid => StepResult::Fault(FaultCause::InvalidInstruction),
+        }
+    }
+
+    /// A long-latency load parks in the reorder buffer: pressure other
+    /// instructions can observe (ROB weird register write path).
+    fn rob_pressure_on_miss(&mut self, lat: u64) {
+        if self.cfg.model == ExecutionModel::Microarchitectural && lat >= self.cfg.latency.l3 {
+            self.contention.pressure_rob(lat, self.cycles);
+        }
+    }
+
+    fn write_reg(&mut self, dst: Reg, value: u64) {
+        self.regs[dst as usize] = value;
+        self.tracer.record(ArchEvent::RegWrite { reg: dst, value });
+    }
+
+    fn commit_store(&mut self, addr: u64, value: u64) {
+        let lat = self.data_access(addr, false); // write-allocate
+        self.cycles += lat;
+        if let Some(tx) = self.tx.as_mut() {
+            tx.undo_log.push((addr, self.mem.read_u64(addr)));
+        }
+        self.mem.write_u64(addr, value);
+        self.tracer.record(ArchEvent::MemWrite { addr, value });
+    }
+
+    fn account_jump(&mut self, pc: u64, target: u64) {
+        self.cycles += self.cfg.latency.alu;
+        if self.cfg.model == ExecutionModel::Microarchitectural {
+            if self.btb.lookup(pc) != Some(target) {
+                self.cycles += self.cfg.latency.btb_miss_penalty;
+            }
+            self.btb.update(pc, target);
+        }
+    }
+
+    /// Executes a conditional branch, opening a speculative window on
+    /// misprediction. This is the mechanism of §3.2.1: the window length is
+    /// the latency of resolving the (possibly flushed) condition word.
+    fn exec_branch(&mut self, pc: u64, cond_addr: u64, rel: i16) -> StepResult {
+        let taken_target = brz_target(pc, rel);
+        let fallthrough = pc + INST_SIZE;
+        let actual_taken = self.mem.read_u64(cond_addr) == 0;
+
+        if self.cfg.model == ExecutionModel::Flat {
+            // An emulator resolves the branch instantly and perfectly.
+            self.cycles += self.cfg.latency.alu + self.cfg.latency.l1;
+            self.bp.update(pc, actual_taken);
+            return StepResult::Continue(if actual_taken { taken_target } else { fallthrough });
+        }
+
+        let resolve_lat = self.data_access(cond_addr, false);
+        let mut predicted_taken = self.bp.predict(pc);
+        if self.noise.bp_alias() {
+            predicted_taken = !predicted_taken;
+        }
+        self.bp.update(pc, actual_taken);
+
+        if predicted_taken == actual_taken {
+            // Correct prediction: the front end never stalled; resolution
+            // completes in the background.
+            self.cycles += self.cfg.latency.alu;
+        } else {
+            self.stats.mispredicts += 1;
+            let window = self
+                .noise
+                .bp_window(resolve_lat + self.cfg.latency.spec_window_slack);
+            let wrong_path = if predicted_taken { taken_target } else { fallthrough };
+            self.speculate(wrong_path, window);
+            self.cycles += resolve_lat + self.cfg.latency.mispredict_penalty;
+        }
+        StepResult::Continue(if actual_taken { taken_target } else { fallthrough })
+    }
+
+    // ------------------------------------------------------------------
+    // Speculative (wrong-path / post-fault) execution
+    // ------------------------------------------------------------------
+
+    /// Executes the wrong path starting at `pc` for at most `window`
+    /// cycles, using a small dataflow (scoreboard) timing model:
+    ///
+    /// * The front end delivers instructions in order, each paying its
+    ///   I-cache latency; execution is out of order — an instruction starts
+    ///   at `max(dispatch time, source-ready times)`.
+    /// * A memory access **issues** only if its start time is inside the
+    ///   window; an issued access's cache fill commits *regardless* of when
+    ///   it completes (fire-and-forget, like a real miss whose MSHR
+    ///   completes after the squash). This is why reading a weird register
+    ///   destroys its value (§3.1 "state decoherence"), and why independent
+    ///   chains in one window (the OR gate of Fig. 3) proceed in parallel.
+    /// * An instruction whose *data* arrives after the window ends was
+    ///   squashed mid-flight: its dependents never issue. This is the race
+    ///   that turns cache state into logic (§3.2.1).
+    ///
+    /// Architectural effects (register/memory writes) are sandboxed in a
+    /// speculative register file and store buffer and discarded.
+    fn speculate(&mut self, start_pc: u64, window: u64) {
+        /// Source ready-time for values that never arrive.
+        const NEVER: u64 = u64::MAX / 2;
+        if window == 0 {
+            return;
+        }
+        let lat = self.cfg.latency.clone();
+        let mut pc = start_pc;
+        // Front-end clock (cycles since the window opened).
+        let mut fetch_t: u64 = 0;
+        // Speculative register file: value + ready time.
+        let mut vals = self.regs;
+        let mut ready = [0u64; NUM_REGS];
+        // Store buffer: (addr, value, value-ready time).
+        let mut store_buf: Vec<(u64, u64, u64)> = Vec::new();
+        // In-flight line fills: (is_inst, line) -> data-ready time.
+        let mut inflight: std::collections::HashMap<(bool, u64), u64> =
+            std::collections::HashMap::new();
+
+        // Issues a cache access at `start` if it fits the window. Returns
+        // the data-ready time, or `None` if the access could not issue.
+        macro_rules! line_access {
+            ($self:ident, $addr:expr, $start:expr, $is_inst:expr) => {{
+                let start: u64 = $start;
+                if start > window {
+                    None
+                } else {
+                    let addr: u64 = $addr;
+                    let key = ($is_inst, crate::cache::line_of(addr));
+                    if let Some(&done) = inflight.get(&key) {
+                        Some(done.max(start + lat.l1))
+                    } else {
+                        let level = if $is_inst {
+                            $self.hier.probe_inst(addr)
+                        } else {
+                            $self.hier.probe_data(addr)
+                        };
+                        let l = $self.level_latency(level) + $self.noise.mem_jitter();
+                        if $is_inst {
+                            $self.hier.access_inst(addr);
+                        } else {
+                            $self.hier.access_data(addr);
+                        }
+                        let done = start + l;
+                        inflight.insert(key, done);
+                        Some(done)
+                    }
+                }
+            }};
+        }
+
+        for _ in 0..MAX_SPEC_INSTS {
+            // ---- front end: fetch through the I-cache ----
+            let f_ready = match line_access!(self, pc, fetch_t, true) {
+                Some(t) => t,
+                None => return,
+            };
+            if f_ready > window {
+                // The fill was issued (and will land in the cache), but the
+                // bytes arrive after the squash: the instruction never runs.
+                return;
+            }
+            fetch_t = f_ready;
+            let inst = self.fetch_inst(pc);
+            self.stats.speculative_insts += 1;
+            let next = pc + INST_SIZE;
+            let dispatch = fetch_t;
+
+            let src_ready = |r: Reg, ready: &[u64; NUM_REGS]| ready[r as usize];
+            let op_ready = |op: Operand, ready: &[u64; NUM_REGS]| match op {
+                Operand::Reg(r) => ready[r as usize],
+                Operand::Imm(_) => 0,
+            };
+
+            match inst {
+                Inst::Nop | Inst::Fence => pc = next,
+                Inst::Halt | Inst::Xbegin { .. } | Inst::Xend | Inst::Invalid => return,
+                Inst::Mov { dst, src } => {
+                    let start = dispatch.max(op_ready(src, &ready));
+                    if start <= window {
+                        vals[dst as usize] = self.operand(&vals, src);
+                        ready[dst as usize] = start + lat.alu;
+                    } else {
+                        ready[dst as usize] = NEVER;
+                    }
+                    pc = next;
+                }
+                Inst::Alu { op, dst, a, b } => {
+                    let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
+                    if start <= window {
+                        vals[dst as usize] =
+                            Self::alu_eval(op, vals[a as usize], self.operand(&vals, b));
+                        ready[dst as usize] = start + lat.alu;
+                    } else {
+                        ready[dst as usize] = NEVER;
+                    }
+                    pc = next;
+                }
+                Inst::Mul { dst, a, b } => {
+                    let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
+                    if start <= window {
+                        let delay = self.contention.mul_delay(self.cycles + start);
+                        vals[dst as usize] =
+                            vals[a as usize].wrapping_mul(self.operand(&vals, b));
+                        ready[dst as usize] = start + lat.mul + delay;
+                        self.contention
+                            .pressure_mul(crate::contention::MUL_OCCUPANCY, self.cycles + start);
+                    } else {
+                        ready[dst as usize] = NEVER;
+                    }
+                    pc = next;
+                }
+                Inst::Div { dst, a, b } => {
+                    let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
+                    if start > window {
+                        ready[dst as usize] = NEVER;
+                        pc = next;
+                        continue;
+                    }
+                    let divisor = self.operand(&vals, b);
+                    if divisor == 0 {
+                        return; // nested speculative fault squashes the rest
+                    }
+                    vals[dst as usize] = vals[a as usize] / divisor;
+                    ready[dst as usize] = start + lat.div;
+                    pc = next;
+                }
+                Inst::Load { dst, addr } => {
+                    self.spec_load(
+                        dst,
+                        addr as u64,
+                        dispatch,
+                        window,
+                        &mut vals,
+                        &mut ready,
+                        &store_buf,
+                        |m, a, s| line_access!(m, a, s, false),
+                    );
+                    pc = next;
+                }
+                Inst::LoadInd { dst, base, offset } => {
+                    let start = dispatch.max(src_ready(base, &ready));
+                    if start > window {
+                        ready[dst as usize] = NEVER;
+                        pc = next;
+                        continue;
+                    }
+                    let addr = vals[base as usize].wrapping_add(offset as u64);
+                    self.spec_load(
+                        dst,
+                        addr,
+                        start,
+                        window,
+                        &mut vals,
+                        &mut ready,
+                        &store_buf,
+                        |m, a, s| line_access!(m, a, s, false),
+                    );
+                    pc = next;
+                }
+                Inst::Store { addr, src } => {
+                    // The RFO needs only the address; fire it if dispatch
+                    // fits the window.
+                    let _ = line_access!(self, addr as u64, dispatch, false);
+                    if dispatch <= window {
+                        store_buf.push((
+                            addr as u64,
+                            vals[src as usize],
+                            dispatch.max(src_ready(src, &ready)),
+                        ));
+                    }
+                    pc = next;
+                }
+                Inst::StoreInd { base, offset, src } => {
+                    let start = dispatch.max(src_ready(base, &ready));
+                    if start <= window {
+                        let addr = vals[base as usize].wrapping_add(offset as u64);
+                        let _ = line_access!(self, addr, start, false);
+                        store_buf.push((
+                            addr,
+                            vals[src as usize],
+                            start.max(src_ready(src, &ready)),
+                        ));
+                    }
+                    pc = next;
+                }
+                Inst::Flush { addr } => {
+                    if dispatch + lat.clflush <= window {
+                        self.hier.flush(addr as u64);
+                    }
+                    pc = next;
+                }
+                Inst::FlushInd { base, offset } => {
+                    let start = dispatch.max(src_ready(base, &ready));
+                    if start + lat.clflush <= window {
+                        let addr = vals[base as usize].wrapping_add(offset as u64);
+                        self.hier.flush(addr);
+                    }
+                    pc = next;
+                }
+                Inst::TouchCode { addr } => {
+                    let _ = line_access!(self, addr as u64, dispatch, true);
+                    pc = next;
+                }
+                Inst::Jmp { target } => {
+                    pc = target as u64;
+                }
+                Inst::JmpInd { base } => {
+                    let start = dispatch.max(src_ready(base, &ready));
+                    if start > window {
+                        return; // target unknown before squash
+                    }
+                    fetch_t = start;
+                    pc = vals[base as usize];
+                }
+                Inst::Brz { cond_addr, rel } => {
+                    // Nested branches resolve against memory; no nested
+                    // windows open, and the front end waits for resolution.
+                    match line_access!(self, cond_addr as u64, dispatch, false) {
+                        Some(done) if done <= window => {
+                            fetch_t = done;
+                            let v = self.mem.read_u64(cond_addr as u64);
+                            pc = if v == 0 { brz_target(pc, rel) } else { next };
+                        }
+                        _ => return,
+                    }
+                }
+                Inst::Rdtscp { dst } => {
+                    if dispatch <= window {
+                        vals[dst as usize] = self.cycles + dispatch;
+                        ready[dst as usize] = dispatch + lat.rdtscp;
+                    } else {
+                        ready[dst as usize] = NEVER;
+                    }
+                    pc = next;
+                }
+                Inst::Vmx => {
+                    if dispatch <= window {
+                        self.contention.vmx_execute(self.cycles + dispatch);
+                    }
+                    pc = next;
+                }
+            }
+        }
+    }
+
+    /// Speculative load: checks the store buffer, otherwise races the
+    /// window through the cache. `access` issues the cache access.
+    #[allow(clippy::too_many_arguments)]
+    fn spec_load<F>(
+        &mut self,
+        dst: Reg,
+        addr: u64,
+        start: u64,
+        _window: u64,
+        vals: &mut [u64; NUM_REGS],
+        ready: &mut [u64; NUM_REGS],
+        store_buf: &[(u64, u64, u64)],
+        mut access: F,
+    ) where
+        F: FnMut(&mut Self, u64, u64) -> Option<u64>,
+    {
+        const NEVER: u64 = u64::MAX / 2;
+        if let Some(&(_, v, vready)) = store_buf.iter().rev().find(|&&(a, _, _)| a == addr) {
+            // Store-to-load forwarding.
+            let done = start.max(vready) + self.cfg.latency.l1;
+            vals[dst as usize] = v;
+            ready[dst as usize] = done;
+            return;
+        }
+        match access(self, addr, start) {
+            Some(done) => {
+                vals[dst as usize] = self.mem.read_u64(addr);
+                ready[dst as usize] = done;
+            }
+            None => ready[dst as usize] = NEVER,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TSX abort paths
+    // ------------------------------------------------------------------
+
+    /// A fault occurred at `pc` inside a transaction: run the post-fault
+    /// speculative window (§4 — "the pipeline continues to execute
+    /// instructions even after the fault"), then roll back and transfer to
+    /// the abort handler.
+    fn tsx_abort_with_window(&mut self, fault_pc: u64, _cause: FaultCause) -> u64 {
+        let window = self.noise.tsx_window(self.cfg.latency.tsx_spec_window);
+        if self.cfg.model == ExecutionModel::Microarchitectural {
+            self.speculate(fault_pc + INST_SIZE, window);
+        }
+        self.tsx_abort_rollback(false)
+    }
+
+    /// Rolls back the open transaction; returns the abort-handler pc.
+    fn tsx_abort_rollback(&mut self, spurious: bool) -> u64 {
+        let tx = self.tx.take().expect("rollback requires open tx");
+        self.regs = tx.saved_regs;
+        for &(addr, old) in tx.undo_log.iter().rev() {
+            self.mem.write_u64(addr, old);
+        }
+        self.cycles += self.cfg.latency.xabort;
+        self.stats.tx_aborted += 1;
+        if spurious {
+            self.stats.tx_spurious_aborts += 1;
+        }
+        self.tracer.abort_tx(tx.handler);
+        tx.handler
+    }
+}
+
+enum StepResult {
+    Continue(u64),
+    Halted,
+    Fault(FaultCause),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Assembler;
+
+    fn quiet() -> Machine {
+        Machine::new(MachineConfig::quiet(), 0)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Mov { dst: 1, src: Operand::Imm(6) });
+        a.push(Inst::Mul { dst: 2, a: 1, b: Operand::Imm(7) });
+        a.push(Inst::Halt);
+        m.load_program(a.finish().unwrap());
+        assert_eq!(m.run_at(0), RunOutcome::Halted);
+        assert_eq!(m.reg(2), 42);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Mov { dst: 0, src: Operand::Imm(0xABCD) });
+        a.push(Inst::Store { addr: 0x4000, src: 0 });
+        a.push(Inst::Load { dst: 1, addr: 0x4000 });
+        a.push(Inst::Halt);
+        m.load_program(a.finish().unwrap());
+        m.run_at(0);
+        assert_eq!(m.reg(1), 0xABCD);
+        assert!(m.hierarchy().in_l1d(0x4000), "store write-allocates");
+    }
+
+    #[test]
+    fn div_by_zero_faults_outside_tx() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Div { dst: 0, a: 0, b: Operand::Imm(0) });
+        m.load_program(a.finish().unwrap());
+        assert_eq!(
+            m.run_at(0),
+            RunOutcome::Fault { pc: 0, cause: FaultCause::DivByZero }
+        );
+    }
+
+    #[test]
+    fn timed_read_hit_vs_miss() {
+        let mut m = quiet();
+        let miss = m.timed_read(0x8000);
+        let hit = m.timed_read(0x8000);
+        assert_eq!(miss, m.latency().dram);
+        assert_eq!(hit, m.latency().l1);
+    }
+
+    #[test]
+    fn rdtscp_monotonic() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Rdtscp { dst: 0 });
+        a.push(Inst::Load { dst: 2, addr: 0x4000 });
+        a.push(Inst::Rdtscp { dst: 1 });
+        a.push(Inst::Halt);
+        m.load_program(a.finish().unwrap());
+        m.run_at(0);
+        assert!(m.reg(1) > m.reg(0));
+        // The gap includes a DRAM miss.
+        assert!(m.reg(1) - m.reg(0) >= m.latency().dram);
+    }
+
+    #[test]
+    fn branch_follows_memory_condition() {
+        let mut m = quiet();
+        m.mem_mut().write_u64(0x4000, 0); // zero → taken
+        let mut a = Assembler::new(0);
+        a.brz(0x4000, "taken");
+        a.push(Inst::Mov { dst: 0, src: Operand::Imm(1) });
+        a.push(Inst::Halt);
+        a.label("taken").unwrap();
+        a.push(Inst::Mov { dst: 0, src: Operand::Imm(2) });
+        a.push(Inst::Halt);
+        m.load_program(a.finish().unwrap());
+        m.run_at(0);
+        assert_eq!(m.reg(0), 2);
+    }
+
+    /// The core §3.2.1 mechanism: a mispredicted branch whose wrong path
+    /// contains a store leaves a cache fill behind — but only when the
+    /// wrong-path code is in the I-cache.
+    #[test]
+    fn mispredict_leaks_cache_fill_when_body_cached() {
+        let out = 0x5000u32;
+        let cond = 0x4000u32;
+        let mut m = quiet();
+        m.mem_mut().write_u64(cond as u64, 0); // branch will be TAKEN (skip body)
+
+        let mut a = Assembler::new(0);
+        a.brz(cond, "skip"); // actual: taken; we mistrain toward fall-through
+        a.align_to(64); // the body gets its own I-cache line (paper §3.2.1)
+        a.label("body").unwrap();
+        a.push(Inst::Store { addr: out, src: 3 });
+        a.label("skip").unwrap();
+        a.push(Inst::Halt);
+        let body_addr = a.resolve("body").unwrap();
+        m.load_program(a.finish().unwrap());
+
+        // Mistrain: the predictor slot for pc=0 learns "not taken".
+        let alias = 0 + m.predictor().alias_stride();
+        let mut train = Assembler::new(alias);
+        train.push(Inst::Brz { cond_addr: 0x4100, rel: 0 }); // mem[0x4100]=1 → fall through
+        train.push(Inst::Halt);
+        m.add_program(train.finish().unwrap());
+        m.mem_mut().write_u64(0x4100, 1);
+        for _ in 0..4 {
+            m.run_at(alias);
+        }
+        assert!(!m.predictor().predict(0), "trained not-taken");
+
+        // Warm the body's code line, flush the output and the condition.
+        m.touch_code(body_addr);
+        m.flush_addr(out as u64);
+        m.flush_addr(cond as u64);
+
+        m.run_at(0);
+        assert!(
+            m.hierarchy().in_l1d(out as u64),
+            "speculative store must write-allocate the output line"
+        );
+        assert_eq!(m.mem().read_u64(out as u64), 0, "no architectural store");
+    }
+
+    /// Same setup, but the wrong-path code was flushed from the I-cache:
+    /// the fetch loses the race and nothing fills the output line.
+    #[test]
+    fn mispredict_with_cold_body_leaves_no_trace() {
+        let out = 0x5000u32;
+        let cond = 0x4000u32;
+        let mut m = quiet();
+        m.mem_mut().write_u64(cond as u64, 0);
+
+        let mut a = Assembler::new(0);
+        a.brz(cond, "skip");
+        a.align_to(64);
+        a.label("body").unwrap();
+        a.push(Inst::Store { addr: out, src: 3 });
+        a.label("skip").unwrap();
+        a.push(Inst::Halt);
+        let body_addr = a.resolve("body").unwrap();
+        m.load_program(a.finish().unwrap());
+
+        let alias = m.predictor().alias_stride();
+        let mut train = Assembler::new(alias);
+        train.push(Inst::Brz { cond_addr: 0x4100, rel: 0 });
+        train.push(Inst::Halt);
+        m.add_program(train.finish().unwrap());
+        m.mem_mut().write_u64(0x4100, 1);
+        for _ in 0..4 {
+            m.run_at(alias);
+        }
+
+        m.flush_addr(body_addr); // IC-WR = 0
+        m.flush_addr(out as u64);
+        m.flush_addr(cond as u64);
+
+        m.run_at(0);
+        assert!(
+            !m.hierarchy().in_l1d(out as u64),
+            "cold body must not beat the speculative window"
+        );
+    }
+
+    #[test]
+    fn tsx_commit_is_visible_abort_is_rolled_back() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Mov { dst: 0, src: Operand::Imm(7) });
+        a.push(Inst::Xbegin { handler: 0 }); // patched below
+        a.push(Inst::Store { addr: 0x4000, src: 0 });
+        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) }); // abort
+        a.push(Inst::Store { addr: 0x4008, src: 0 });
+        a.push(Inst::Xend);
+        a.push(Inst::Halt);
+        a.label("handler").unwrap();
+        a.push(Inst::Mov { dst: 5, src: Operand::Imm(1) });
+        a.push(Inst::Halt);
+        let handler = a.resolve("handler").unwrap();
+        let mut p = a.finish().unwrap();
+        p.put(8, Inst::Xbegin { handler: handler as u32 });
+        m.load_program(p);
+
+        assert_eq!(m.run_at(0), RunOutcome::Halted);
+        assert_eq!(m.reg(5), 1, "abort handler ran");
+        assert_eq!(m.mem().read_u64(0x4000), 0, "transactional store rolled back");
+        assert_eq!(m.mem().read_u64(0x4008), 0);
+    }
+
+    /// §4: post-fault speculation inside a transaction leaves cache fills
+    /// behind even though everything architectural is rolled back.
+    #[test]
+    fn tsx_post_fault_window_leaks_ma_state() {
+        let mut m = quiet();
+        let d0 = 0x4000u32; // input WR (cached = 1)
+        let d3 = 0x4400u32; // output WR
+        m.timed_read(d0 as u64); // set d0 := 1
+        m.flush_addr(d3 as u64); // d3 := 0
+
+        let mut a = Assembler::new(0);
+        a.push(Inst::Xbegin { handler: 0 });
+        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        // d3 := d0 (assignment gate): deref chain through d0's value.
+        a.push(Inst::Load { dst: 2, addr: d0 });
+        a.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
+        a.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        a.push(Inst::Xend);
+        a.label("handler").unwrap();
+        a.push(Inst::Halt);
+        let handler = a.resolve("handler").unwrap();
+        let mut p = a.finish().unwrap();
+        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        m.load_program(p);
+
+        assert_eq!(m.run_at(0), RunOutcome::Halted);
+        assert!(m.hierarchy().in_l1d(d3 as u64), "gate set the output WR");
+        assert_eq!(m.reg(3), 0, "architectural register rolled back");
+    }
+
+    /// The same assignment gate with an uncached input: the DRAM-latency
+    /// load overruns the window; the output WR stays 0.
+    #[test]
+    fn tsx_window_squashes_slow_chain() {
+        let mut m = quiet();
+        let d0 = 0x4000u32;
+        let d3 = 0x4400u32;
+        m.flush_addr(d0 as u64); // d0 := 0
+        m.flush_addr(d3 as u64);
+
+        let mut a = Assembler::new(0);
+        a.push(Inst::Xbegin { handler: 0 });
+        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        a.push(Inst::Load { dst: 2, addr: d0 });
+        a.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
+        a.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        a.push(Inst::Xend);
+        a.label("handler").unwrap();
+        a.push(Inst::Halt);
+        let handler = a.resolve("handler").unwrap();
+        let mut p = a.finish().unwrap();
+        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        m.load_program(p);
+
+        m.run_at(0);
+        assert!(!m.hierarchy().in_l1d(d3 as u64), "slow chain must be squashed");
+        assert!(
+            m.hierarchy().in_l1d(d0 as u64),
+            "the issued miss still fills the input line (state decoherence, §3.1)"
+        );
+    }
+
+    #[test]
+    fn xend_without_tx_faults() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Xend);
+        m.load_program(a.finish().unwrap());
+        assert_eq!(
+            m.run_at(0),
+            RunOutcome::Fault { pc: 0, cause: FaultCause::TxMisuse }
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_runaway() {
+        let mut m = quiet();
+        let mut a = Assembler::new(0);
+        a.label("top").unwrap();
+        a.jmp("top");
+        m.load_program(a.finish().unwrap());
+        m.set_step_limit(100);
+        assert_eq!(m.run_at(0), RunOutcome::StepLimit);
+    }
+
+    #[test]
+    fn dynamic_code_from_memory() {
+        let mut m = quiet();
+        // Write "Mov r0, 99; Halt" into memory as bytes, then run there.
+        let code_at = 0x2_0000u64;
+        let insts = [Inst::Mov { dst: 0, src: Operand::Imm(99) }, Inst::Halt];
+        let mut bytes = Vec::new();
+        for i in &insts {
+            bytes.extend_from_slice(&i.encode());
+        }
+        m.mem_mut().write_bytes(code_at, &bytes);
+        assert_eq!(m.run_at(code_at), RunOutcome::Halted);
+        assert_eq!(m.reg(0), 99);
+    }
+
+    #[test]
+    fn garbage_code_faults() {
+        let mut m = quiet();
+        let code_at = 0x2_0000u64;
+        m.mem_mut().write_bytes(code_at, &[0xAB; 8]);
+        assert!(matches!(
+            m.run_at(code_at),
+            RunOutcome::Fault { cause: FaultCause::InvalidInstruction, .. }
+        ));
+    }
+
+    #[test]
+    fn flat_model_has_uniform_timing_and_no_leaks() {
+        let mut m = Machine::new(MachineConfig::flat(), 0);
+        let a = m.timed_read(0x4000);
+        let b = m.timed_read(0x4000);
+        assert_eq!(a, b, "flat model: no hit/miss distinction");
+
+        // The post-fault TSX leak from the MA test does nothing here.
+        let d0 = 0x4000u32;
+        let d3 = 0x4400u32;
+        let mut asm = Assembler::new(0);
+        asm.push(Inst::Xbegin { handler: 0 });
+        asm.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        asm.push(Inst::Load { dst: 2, addr: d0 });
+        asm.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
+        asm.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        asm.push(Inst::Xend);
+        asm.label("handler").unwrap();
+        asm.push(Inst::Halt);
+        let handler = asm.resolve("handler").unwrap();
+        let mut p = asm.finish().unwrap();
+        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        m.load_program(p);
+        m.run_at(0);
+        assert!(!m.hierarchy().in_l1d(d3 as u64), "no MA effects in flat mode");
+    }
+
+    #[test]
+    fn tracer_hides_aborted_tx_contents() {
+        let mut m = quiet();
+        m.tracer_mut().set_enabled(true);
+        *m.tracer_mut() = Tracer::new();
+        let mut a = Assembler::new(0);
+        a.push(Inst::Xbegin { handler: 0 });
+        a.push(Inst::Mov { dst: 0, src: Operand::Imm(0x5EC2E7) }); // "secret"
+        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        a.push(Inst::Xend);
+        a.label("handler").unwrap();
+        a.push(Inst::Halt);
+        let handler = a.resolve("handler").unwrap();
+        let mut p = a.finish().unwrap();
+        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        m.load_program(p);
+        m.run_at(0);
+        let has_secret = m.tracer().events().iter().any(|e| {
+            matches!(e, ArchEvent::RegWrite { value, .. } if *value == 0x5EC2E7)
+                || matches!(e, ArchEvent::Commit { inst: Inst::Mov { .. }, .. })
+        });
+        assert!(!has_secret, "aborted-tx contents must not appear in the trace");
+    }
+
+    #[test]
+    fn same_seed_same_cycles() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig::default(), 1234);
+            let mut a = Assembler::new(0);
+            for i in 0..20 {
+                a.push(Inst::Load { dst: 0, addr: 0x4000 + i * 64 });
+            }
+            a.push(Inst::Halt);
+            m.load_program(a.finish().unwrap());
+            m.run_at(0);
+            m.cycles()
+        };
+        assert_eq!(run(), run());
+    }
+}

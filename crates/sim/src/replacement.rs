@@ -1,0 +1,145 @@
+//! Replacement policies for set-associative caches.
+//!
+//! The paper notes (§3.1, "Variability") that weird registers can be built
+//! from replacement metadata itself (LRU-state channels, [65] in the paper),
+//! so the policy is a first-class, swappable component here.
+
+/// Which replacement policy a cache uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Policy {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU, as used by most real L1 caches.
+    TreePlru,
+    /// Random replacement (deterministic xorshift inside the cache).
+    Random,
+}
+
+/// Per-set replacement state. One instance per cache set.
+#[derive(Debug, Clone)]
+pub(crate) enum SetState {
+    /// `order[0]` is most recently used way index.
+    Lru { order: Vec<u8> },
+    /// Flattened binary tree of direction bits; supports power-of-two ways.
+    TreePlru { bits: u64 },
+    /// Xorshift state for random victim selection.
+    Random { state: u64 },
+}
+
+impl SetState {
+    pub(crate) fn new(policy: Policy, ways: usize, seed: u64) -> Self {
+        match policy {
+            Policy::Lru => SetState::Lru {
+                order: (0..ways as u8).collect(),
+            },
+            Policy::TreePlru => SetState::TreePlru { bits: 0 },
+            Policy::Random => SetState::Random {
+                state: seed | 1, // never zero
+            },
+        }
+    }
+
+    /// Records a use of `way`, updating recency metadata.
+    pub(crate) fn touch(&mut self, way: usize, ways: usize) {
+        match self {
+            SetState::Lru { order } => {
+                if let Some(pos) = order.iter().position(|&w| w as usize == way) {
+                    let w = order.remove(pos);
+                    order.insert(0, w);
+                }
+            }
+            SetState::TreePlru { bits } => {
+                // Walk from the root to the leaf for `way`, setting each
+                // internal node to point *away* from the path taken.
+                let mut node = 0usize; // root at index 0 in implicit heap
+                let levels = ways.trailing_zeros();
+                for level in (0..levels).rev() {
+                    let dir = (way >> level) & 1;
+                    if dir == 0 {
+                        *bits |= 1 << node; // point right (away from 0-side)
+                    } else {
+                        *bits &= !(1 << node);
+                    }
+                    node = 2 * node + 1 + dir;
+                }
+            }
+            SetState::Random { .. } => {}
+        }
+    }
+
+    /// Chooses the victim way for the next fill.
+    pub(crate) fn victim(&mut self, ways: usize) -> usize {
+        match self {
+            SetState::Lru { order } => *order.last().expect("nonempty set") as usize,
+            SetState::TreePlru { bits } => {
+                let mut node = 0usize;
+                let mut way = 0usize;
+                let levels = ways.trailing_zeros();
+                for _ in 0..levels {
+                    let dir = ((*bits >> node) & 1) as usize;
+                    way = (way << 1) | dir;
+                    node = 2 * node + 1 + dir;
+                }
+                way
+            }
+            SetState::Random { state } => {
+                // xorshift64
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                (x % ways as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetState::new(Policy::Lru, 4, 0);
+        for w in 0..4 {
+            s.touch(w, 4);
+        }
+        // Way 0 was touched longest ago.
+        assert_eq!(s.victim(4), 0);
+        s.touch(0, 4);
+        assert_eq!(s.victim(4), 1);
+    }
+
+    #[test]
+    fn plru_points_away_from_recent() {
+        let mut s = SetState::new(Policy::TreePlru, 4, 0);
+        s.touch(0, 4);
+        let v = s.victim(4);
+        assert_ne!(v, 0, "PLRU must not immediately evict the MRU way");
+    }
+
+    #[test]
+    fn plru_full_touch_cycle_is_consistent() {
+        let mut s = SetState::new(Policy::TreePlru, 8, 0);
+        // Touch all ways; victim must be a valid way index.
+        for w in 0..8 {
+            s.touch(w, 8);
+        }
+        let v = s.victim(8);
+        assert!(v < 8);
+        // The most recently touched way (7) must not be the victim.
+        assert_ne!(v, 7);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = SetState::new(Policy::Random, 8, 99);
+        let mut b = SetState::new(Policy::Random, 8, 99);
+        let va: Vec<usize> = (0..32).map(|_| a.victim(8)).collect();
+        let vb: Vec<usize> = (0..32).map(|_| b.victim(8)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().all(|&w| w < 8));
+    }
+}

@@ -1,0 +1,65 @@
+//! The weird-obfuscation trigger demo (§5.1 of the paper), with a benign
+//! payload.
+//!
+//! Arms a trigger-protected payload, shows that the defender — who can
+//! read all of memory and trace every committed instruction — sees nothing
+//! until the correct one-time-pad trigger arrives, then feeds pings until
+//! the TSX-XOR decode succeeds.
+//!
+//! Run with: `cargo run --release -p uwm-apps --example logic_bomb`
+
+use uwm_apps::wm_apt::{Payload, WmApt, EXFIL_ADDR, SHADOW_SECRET};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mut apt, trigger) = WmApt::new(1337, Payload::Exfiltrate)?;
+    println!("APT armed with an exfiltration payload.");
+    println!("trigger (one-time pad): {}", hex(&trigger));
+
+    // --- the defender inspects memory -----------------------------------
+    let region = apt.visible_region();
+    println!(
+        "\ndefender's view of the armed region ({} bytes): {}…",
+        region.len(),
+        hex(&region[..32])
+    );
+    println!("(no payload instruction or key material is recoverable)");
+
+    // --- wrong pings do nothing -----------------------------------------
+    for i in 0..3u8 {
+        let mut wrong = trigger;
+        wrong[0] ^= i + 1;
+        let r = apt.ping(&wrong);
+        println!("wrong ping {} → triggered: {}", i + 1, r.triggered);
+    }
+
+    // --- the real trigger, repeated until the weird decode lands --------
+    println!("\nsending the real trigger (weird-XOR decode is probabilistic):");
+    let mut pings = 0u32;
+    loop {
+        pings += 1;
+        let r = apt.ping(&trigger);
+        println!(
+            "  ping {pings}: {} ({} TSX-XOR gate executions)",
+            if r.triggered { "PAYLOAD EXECUTED" } else { "decode failed, still silent" },
+            r.xor_executions
+        );
+        if r.triggered {
+            break;
+        }
+        if pings > 500 {
+            return Err("trigger never landed (noise too high?)".into());
+        }
+    }
+
+    let exfil = apt.skelly().machine().mem().read_u64(EXFIL_ADDR);
+    assert_eq!(exfil, SHADOW_SECRET);
+    println!(
+        "\nsimulated secret exfiltrated after {pings} ping(s): {:?}",
+        String::from_utf8_lossy(&exfil.to_le_bytes())
+    );
+    Ok(())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}

@@ -1,0 +1,243 @@
+//! Property-based tests over the whole stack: ISA encoding, cache
+//! invariants, memory, weird-gate semantics, and random weird circuits.
+
+use proptest::prelude::*;
+
+use uwm_core::circuit::CircuitBuilder;
+use uwm_core::layout::Layout;
+use uwm_core::skelly::Skelly;
+use uwm_sim::cache::{Cache, CacheConfig};
+use uwm_sim::isa::{AluOp, Inst, Operand, INST_SIZE};
+use uwm_sim::machine::{Machine, MachineConfig};
+use uwm_sim::memory::Memory;
+use uwm_sim::replacement::Policy;
+
+fn reg() -> impl Strategy<Value = u8> {
+    0u8..16
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![reg().prop_map(Operand::Reg), any::<u32>().prop_map(Operand::Imm)]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+    ]
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        Just(Inst::Nop),
+        Just(Inst::Halt),
+        Just(Inst::Xend),
+        Just(Inst::Vmx),
+        Just(Inst::Fence),
+        Just(Inst::Invalid),
+        (reg(), operand()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
+        (alu_op(), reg(), reg(), operand()).prop_map(|(op, dst, a, b)| Inst::Alu { op, dst, a, b }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Inst::Mul { dst, a, b }),
+        (reg(), reg(), operand()).prop_map(|(dst, a, b)| Inst::Div { dst, a, b }),
+        (reg(), any::<u32>()).prop_map(|(dst, addr)| Inst::Load { dst, addr }),
+        (reg(), reg(), any::<u32>()).prop_map(|(dst, base, offset)| Inst::LoadInd {
+            dst,
+            base,
+            offset
+        }),
+        (any::<u32>(), reg()).prop_map(|(addr, src)| Inst::Store { addr, src }),
+        (reg(), any::<u32>(), reg()).prop_map(|(base, offset, src)| Inst::StoreInd {
+            base,
+            offset,
+            src
+        }),
+        any::<u32>().prop_map(|addr| Inst::Flush { addr }),
+        (reg(), any::<u32>()).prop_map(|(base, offset)| Inst::FlushInd { base, offset }),
+        any::<u32>().prop_map(|addr| Inst::TouchCode { addr }),
+        any::<u32>().prop_map(|target| Inst::Jmp { target }),
+        reg().prop_map(|base| Inst::JmpInd { base }),
+        (any::<u32>(), any::<i16>()).prop_map(|(cond_addr, rel)| Inst::Brz { cond_addr, rel }),
+        reg().prop_map(|dst| Inst::Rdtscp { dst }),
+        any::<u32>().prop_map(|handler| Inst::Xbegin { handler }),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through its binary encoding.
+    #[test]
+    fn isa_encode_decode_roundtrip(i in inst()) {
+        prop_assert_eq!(Inst::decode(&i.encode()), i);
+    }
+
+    /// Decoding never panics, and valid decodes are canonical: re-encoding
+    /// a successfully decoded instruction reproduces the original bytes.
+    #[test]
+    fn isa_decode_is_canonical(bytes in any::<[u8; 8]>()) {
+        let decoded = Inst::decode(&bytes);
+        if decoded != Inst::Invalid {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    /// Memory is a map: the last write to an address wins, unrelated
+    /// addresses are untouched.
+    #[test]
+    fn memory_semantics(
+        writes in prop::collection::vec((0u64..0x10_000, any::<u64>()), 1..40),
+        probe in 0u64..0x10_000
+    ) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, val) in &writes {
+            let addr = addr & !7; // aligned model
+            mem.write_u64(addr, *val);
+            model.insert(addr, *val);
+        }
+        let probe = probe & !7;
+        prop_assert_eq!(mem.read_u64(probe), model.get(&probe).copied().unwrap_or(0));
+    }
+
+    /// Cache invariant: immediately after an access, the line is present;
+    /// after a flush, it is absent — under any interleaving.
+    #[test]
+    fn cache_access_flush_invariants(
+        ops in prop::collection::vec((any::<bool>(), 0u64..(1 << 14)), 1..200)
+    ) {
+        let mut cache = Cache::new(
+            CacheConfig { sets: 16, ways: 2, policy: Policy::Lru },
+            7,
+        );
+        for (is_access, addr) in ops {
+            if is_access {
+                cache.access(addr);
+                prop_assert!(cache.contains(addr));
+            } else {
+                cache.invalidate(addr);
+                prop_assert!(!cache.contains(addr));
+            }
+        }
+    }
+
+    /// Occupancy never exceeds capacity.
+    #[test]
+    fn cache_occupancy_bounded(addrs in prop::collection::vec(0u64..(1 << 20), 1..300)) {
+        let cfg = CacheConfig { sets: 8, ways: 4, policy: Policy::TreePlru };
+        let mut cache = Cache::new(cfg, 3);
+        for a in addrs {
+            cache.access(a);
+            prop_assert!(cache.occupancy() <= cfg.sets * cfg.ways);
+        }
+    }
+
+    /// The machine executes straight-line ALU programs exactly like a
+    /// plain interpreter (architectural correctness under MA modelling).
+    #[test]
+    fn machine_matches_alu_model(
+        prog in prop::collection::vec((alu_op(), reg(), reg(), any::<u32>()), 1..30)
+    ) {
+        let mut m = Machine::new(MachineConfig::quiet(), 0);
+        let mut model = [0u64; 16];
+        let mut a = uwm_sim::isa::Assembler::new(0);
+        for &(op, dst, src, imm) in &prog {
+            a.push(Inst::Alu { op, dst, a: src, b: Operand::Imm(imm) });
+        }
+        a.push(Inst::Halt);
+        m.load_program(a.finish().unwrap());
+        m.run_at(0);
+        for &(op, dst, src, imm) in &prog {
+            let b = imm as u64;
+            let av = model[src as usize];
+            model[dst as usize] = match op {
+                AluOp::Add => av.wrapping_add(b),
+                AluOp::Sub => av.wrapping_sub(b),
+                AluOp::And => av & b,
+                AluOp::Or => av | b,
+                AluOp::Xor => av ^ b,
+                AluOp::Shl => av << (b & 63),
+                AluOp::Shr => av >> (b & 63),
+            };
+        }
+        for r in 0..16u8 {
+            prop_assert_eq!(m.reg(r), model[r as usize], "r{}", r);
+        }
+    }
+}
+
+/// Random weird circuits agree with their architectural reference on a
+/// quiet machine — the key semantic property of the whole framework.
+/// (Kept outside `proptest!` with a hand space because each case builds
+/// gates; 16 random circuits x all-input sweeps.)
+#[test]
+fn random_circuits_match_reference() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = Machine::new(MachineConfig::quiet(), seed);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        let mut cb = CircuitBuilder::new();
+        let n_inputs = rng.gen_range(2..5usize);
+        let mut live: Vec<uwm_core::circuit::Wire> = (0..n_inputs)
+            .map(|_| cb.input(&mut m, &mut lay).unwrap())
+            .collect();
+        let gates = rng.gen_range(1..5usize);
+        for _ in 0..gates {
+            if live.len() < 2 {
+                break;
+            }
+            let a = live.swap_remove(rng.gen_range(0..live.len()));
+            let b = live.swap_remove(rng.gen_range(0..live.len()));
+            match rng.gen_range(0..4) {
+                0 => live.push(cb.and(&mut m, &mut lay, a, b).unwrap()),
+                1 => live.push(cb.or(&mut m, &mut lay, a, b).unwrap()),
+                2 => live.push(cb.xor(&mut m, &mut lay, a, b).unwrap()),
+                _ => {
+                    let (qa, qo) = cb.and_or(&mut m, &mut lay, a, b).unwrap();
+                    live.push(qa);
+                    live.push(qo);
+                }
+            }
+        }
+        let out = live.pop().expect("at least one live wire");
+        cb.mark_output(out);
+        let circuit = cb.finish().unwrap();
+
+        for bits in 0..(1u32 << n_inputs) {
+            let inputs: Vec<bool> = (0..n_inputs).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                circuit.run(&mut m, &inputs).unwrap(),
+                circuit.eval_reference(&inputs),
+                "seed {seed}, inputs {inputs:?}"
+            );
+        }
+    }
+}
+
+/// Voted skelly word operations equal their ALU counterparts for random
+/// operands (quiet machine; a handful of cases — each op is 32–128 gates).
+#[test]
+fn skelly_word_ops_match_alu_random() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut sk = Skelly::quiet(99).unwrap();
+    for _ in 0..6 {
+        let (a, b) = (rng.gen::<u32>(), rng.gen::<u32>());
+        assert_eq!(sk.xor32(a, b), a ^ b);
+        assert_eq!(sk.and32(a, b), a & b);
+        assert_eq!(sk.or32(a, b), a | b);
+        assert_eq!(sk.add32(a, b), a.wrapping_add(b));
+    }
+}
+
+// Keep `INST_SIZE` used so the import mirrors the machine contract.
+#[test]
+fn inst_size_is_eight() {
+    assert_eq!(INST_SIZE, 8);
+}

@@ -1,0 +1,111 @@
+//! The obfuscation claim, *proven* against the analyzer: an observer with
+//! full architectural visibility (every committed instruction, register
+//! write, and memory write — the §2.2 threat model) cannot distinguish μWM
+//! computations on different data, and never sees a dormant payload.
+
+use uwm_apps::wm_apt::{Payload, WmApt, CONNECT_MARKER, MARKER_ADDR};
+use uwm_core::circuit::CircuitBuilder;
+use uwm_core::layout::Layout;
+use uwm_sim::isa::Inst;
+use uwm_sim::machine::{Machine, MachineConfig};
+use uwm_sim::trace::{ArchEvent, Tracer};
+
+/// Weird-circuit activation commits an identical instruction stream for
+/// every input combination: the XOR is architecturally invisible.
+#[test]
+fn circuit_activation_traces_are_identical() {
+    let mut m = Machine::new(MachineConfig::quiet(), 0);
+    let mut lay = Layout::new(m.predictor().alias_stride());
+    let mut cb = CircuitBuilder::new();
+    let a = cb.input(&mut m, &mut lay).unwrap();
+    let b = cb.input(&mut m, &mut lay).unwrap();
+    let q = cb.xor(&mut m, &mut lay, a, b).unwrap();
+    cb.mark_output(q);
+    let circuit = cb.finish().unwrap();
+
+    let mut fingerprints = Vec::new();
+    let mut outputs = Vec::new();
+    for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+        *m.tracer_mut() = Tracer::new();
+        let out = circuit.run(&mut m, &[x, y]).unwrap();
+        fingerprints.push(m.tracer().fingerprint());
+        outputs.push(out[0]);
+        *m.tracer_mut() = Tracer::disabled();
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "four different computations, one architectural trace"
+    );
+    assert_eq!(outputs, vec![false, true, true, false], "…but different results");
+}
+
+/// A dormant APT processing wrong pings commits exactly the same
+/// architectural events regardless of the ping contents, and none of those
+/// events involve the payload.
+#[test]
+fn wrong_pings_are_architecturally_indistinguishable() {
+    let (mut apt, trigger) = WmApt::with_config(MachineConfig::quiet(), 4, Payload::ReverseShell)
+        .unwrap();
+
+    let mut wrong1 = trigger;
+    wrong1[0] ^= 0x55;
+    let mut wrong2 = trigger;
+    wrong2[20] ^= 0xAA;
+
+    let mut prints = Vec::new();
+    for body in [wrong1, wrong2] {
+        *apt.skelly_mut().machine_mut().tracer_mut() = Tracer::new();
+        let r = apt.ping(&body);
+        assert!(!r.triggered);
+        let tracer = apt.skelly_mut().machine_mut().tracer_mut();
+        prints.push(tracer.fingerprint());
+        // No payload activity in the committed stream.
+        let leaked = tracer.events().iter().any(|e| {
+            matches!(e, ArchEvent::MemWrite { addr, .. } if *addr == MARKER_ADDR)
+                || matches!(e, ArchEvent::RegWrite { value, .. } if *value == CONNECT_MARKER)
+                || matches!(
+                    e,
+                    ArchEvent::Commit { inst: Inst::Store { addr, .. }, .. }
+                        if *addr as u64 == MARKER_ADDR
+                )
+        });
+        assert!(!leaked, "dormant APT must not commit payload activity");
+        *tracer = Tracer::disabled();
+    }
+    assert_eq!(prints[0], prints[1], "two wrong pings, identical traces");
+}
+
+/// Once triggered, the payload becomes visible — the trace *does* differ.
+/// (The paper: "The analyzer will not see any part of the payload until
+/// the trigger has been successful and the payload is already running.")
+#[test]
+fn triggered_ping_trace_differs_and_shows_payload() {
+    let (mut apt, trigger) =
+        WmApt::with_config(MachineConfig::quiet(), 5, Payload::ReverseShell).unwrap();
+    *apt.skelly_mut().machine_mut().tracer_mut() = Tracer::new();
+    let r = apt.ping(&trigger);
+    assert!(r.triggered, "quiet machine: first ping lands");
+    let events = apt.skelly_mut().machine_mut().tracer_mut().events().to_vec();
+    let payload_visible = events
+        .iter()
+        .any(|e| matches!(e, ArchEvent::MemWrite { addr, .. } if *addr == MARKER_ADDR));
+    assert!(payload_visible, "after triggering, the payload runs in the open");
+}
+
+/// The aborted-transaction path never surfaces the garbage the wrong key
+/// produced: no `Div` (the trap) and no decode of the masked header commits.
+#[test]
+fn trap_and_garbage_never_commit() {
+    let (mut apt, trigger) =
+        WmApt::with_config(MachineConfig::quiet(), 6, Payload::Exfiltrate).unwrap();
+    let mut wrong = trigger;
+    wrong[3] = wrong[3].wrapping_add(1);
+    *apt.skelly_mut().machine_mut().tracer_mut() = Tracer::new();
+    apt.ping(&wrong);
+    let tracer = apt.skelly_mut().machine_mut().tracer_mut();
+    let trap_committed = tracer
+        .events()
+        .iter()
+        .any(|e| matches!(e, ArchEvent::Commit { inst: Inst::Div { .. }, .. }));
+    assert!(!trap_committed, "the trap executes only inside aborted transactions");
+}
