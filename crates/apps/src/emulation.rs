@@ -7,10 +7,22 @@
 //! handful of gates and refuse to reveal its real behaviour unless the
 //! gates compute correctly, i.e. unless it is on real (here: fully
 //! modelled) hardware.
+//!
+//! The probe is written once against [`Substrate`] and exercised on two
+//! backends with **zero gate-code duplication**:
+//!
+//! * [`uwm_sim::machine::Machine`] — the full microarchitectural model
+//!   (caches, speculation, transactions): gates compute, verdict
+//!   [`Platform::RealHardware`];
+//! * [`uwm_core::substrate::FlatEmulator`] — a plain architectural
+//!   interpreter (what an analyst's emulator implements): every timed read
+//!   is equally fast, the gates degenerate, verdict [`Platform::Emulated`].
 
 use uwm_core::error::Result;
 use uwm_core::gate::tsx::TsxAssign;
+use uwm_core::gate::GateSpec;
 use uwm_core::layout::Layout;
+use uwm_core::substrate::{FlatEmulator, Substrate};
 use uwm_sim::machine::{Machine, MachineConfig};
 
 /// How many probe gates a verdict is based on.
@@ -25,30 +37,48 @@ pub enum Platform {
     Emulated,
 }
 
-/// Runs the μWM emulation probe on `m`: executes a TSX assignment gate of
-/// a known `1` several times and checks that the MA layer faithfully
-/// carried the bit.
+/// Builds the machine-independent probe program: one TSX assignment gate.
+///
+/// The same spec instantiates on every backend under test — the probe
+/// *program* is identical everywhere; only the substrate differs.
 ///
 /// # Errors
 ///
 /// Fails if gate construction exhausts the layout.
-pub fn probe(m: &mut Machine, lay: &mut Layout) -> Result<Platform> {
-    let gate = TsxAssign::build(m, lay)?;
-    // The probe must exercise *both* logic levels: a flat emulator with
-    // constant load latency reads every weird register as the same value,
-    // so it fails on one of the two (it cannot fail on neither).
+pub fn probe_spec(lay: &mut Layout) -> Result<GateSpec<TsxAssign>> {
+    TsxAssign::spec(lay)
+}
+
+/// Runs a probe gate instance on `s` and classifies the platform.
+///
+/// The probe must exercise *both* logic levels: a flat emulator with
+/// constant load latency reads every weird register as the same value, so
+/// it fails on one of the two (it cannot fail on neither).
+pub fn classify(s: &mut dyn Substrate, gate: &TsxAssign) -> Platform {
     let mut correct = 0usize;
     for round in 0..PROBE_ROUNDS {
         let bit = round % 2 == 0;
-        if gate.execute(m, bit) == bit {
+        if gate.execute(s, bit) == bit {
             correct += 1;
         }
     }
-    Ok(if correct * 4 >= PROBE_ROUNDS * 3 {
+    if correct * 4 >= PROBE_ROUNDS * 3 {
         Platform::RealHardware
     } else {
         Platform::Emulated
-    })
+    }
+}
+
+/// Runs the μWM emulation probe on any substrate: builds the probe spec,
+/// instantiates it on `s`, executes a TSX assignment of known bits and
+/// checks that the MA layer faithfully carried them.
+///
+/// # Errors
+///
+/// Fails if gate construction exhausts the layout.
+pub fn probe(s: &mut dyn Substrate, lay: &mut Layout) -> Result<Platform> {
+    let gate = probe_spec(lay)?.instantiate(s);
+    Ok(classify(s, &gate))
 }
 
 /// Convenience: builds a machine from `cfg` and probes it.
@@ -62,6 +92,26 @@ pub fn probe_config(cfg: MachineConfig, seed: u64) -> Result<Platform> {
     probe(&mut m, &mut lay)
 }
 
+/// Runs **one** probe spec against both backends — the full simulated
+/// microarchitecture and the flat architectural emulator — and returns
+/// `(on_machine, on_emulator)`. This is the paper's §2.1 demonstration in
+/// a single call: same program, opposite verdicts.
+///
+/// # Errors
+///
+/// Fails if gate construction exhausts the layout.
+pub fn probe_both(seed: u64) -> Result<(Platform, Platform)> {
+    let mut m = Machine::new(MachineConfig::quiet(), seed);
+    let mut flat = FlatEmulator::new();
+    let mut lay = Layout::new(m.predictor().alias_stride());
+    let spec = probe_spec(&mut lay)?;
+    let run = |s: &mut dyn Substrate| {
+        let gate = spec.instantiate(s);
+        classify(s, &gate)
+    };
+    Ok((run(&mut m), run(&mut flat)))
+}
+
 /// A computation that only reveals its result on real hardware: returns
 /// `Some(a * b)` when the platform sustains μWM execution, `None` under
 /// emulation — the "secret algorithm on an untrusted machine" use case.
@@ -69,8 +119,13 @@ pub fn probe_config(cfg: MachineConfig, seed: u64) -> Result<Platform> {
 /// # Errors
 ///
 /// Fails if gate construction exhausts the layout.
-pub fn guarded_multiply(m: &mut Machine, lay: &mut Layout, a: u32, b: u32) -> Result<Option<u64>> {
-    Ok(match probe(m, lay)? {
+pub fn guarded_multiply(
+    s: &mut dyn Substrate,
+    lay: &mut Layout,
+    a: u32,
+    b: u32,
+) -> Result<Option<u64>> {
+    Ok(match probe(s, lay)? {
         Platform::RealHardware => Some(a as u64 * b as u64),
         Platform::Emulated => None,
     })
@@ -102,10 +157,24 @@ mod tests {
     }
 
     #[test]
+    fn flat_substrate_detected_as_emulator() {
+        let mut flat = FlatEmulator::new();
+        let mut lay = Layout::new(flat.alias_stride());
+        assert_eq!(probe(&mut flat, &mut lay).unwrap(), Platform::Emulated);
+    }
+
+    #[test]
+    fn one_spec_opposite_verdicts() {
+        let (hw, emu) = probe_both(0).unwrap();
+        assert_eq!(hw, Platform::RealHardware);
+        assert_eq!(emu, Platform::Emulated);
+    }
+
+    #[test]
     fn guarded_computation_withholds_result_under_emulation() {
-        let mut m = Machine::new(MachineConfig::flat(), 0);
-        let mut lay = Layout::new(m.predictor().alias_stride());
-        assert_eq!(guarded_multiply(&mut m, &mut lay, 6, 7).unwrap(), None);
+        let mut flat = FlatEmulator::new();
+        let mut lay = Layout::new(flat.alias_stride());
+        assert_eq!(guarded_multiply(&mut flat, &mut lay, 6, 7).unwrap(), None);
 
         let mut m = Machine::new(MachineConfig::quiet(), 0);
         let mut lay = Layout::new(m.predictor().alias_stride());

@@ -135,7 +135,11 @@ mod tests {
         let mut u = UwmSha1::new(&mut sk);
         let (b, c, d) = (0xDEAD_BEEFu32, 0x1234_5678, 0x0F0F_0F0F);
         for t in [0, 25, 45, 65] {
-            assert_eq!(u.round_f(t, b, c, d), uwm_crypto::sha1::f(t, b, c, d), "t={t}");
+            assert_eq!(
+                u.round_f(t, b, c, d),
+                uwm_crypto::sha1::f(t, b, c, d),
+                "t={t}"
+            );
         }
     }
 

@@ -57,7 +57,7 @@ impl SharifGuard {
     pub fn protect(trigger: &[u8], payload: &[u8]) -> Self {
         let stored_hash = sha1(trigger);
         let mut padded = payload.to_vec();
-        while padded.len() % 16 != 0 {
+        while !padded.len().is_multiple_of(16) {
             padded.push(0);
         }
         let encrypted = Aes128::new(&derive_key(trigger)).encrypt_cbc_zero_iv(&padded);
@@ -143,7 +143,11 @@ mod tests {
     fn noisy_machine_with_redundancy_unlocks() {
         let guard = SharifGuard::protect(b"k", b"body");
         let mut sk = Skelly::noisy(7).unwrap();
-        sk.set_redundancy(Redundancy { samples: 3, votes: 3, k: 2 });
+        sk.set_redundancy(Redundancy {
+            samples: 3,
+            votes: 3,
+            k: 2,
+        });
         // The hash is long (1 block = ~200k gate executions); a single
         // attempt with modest redundancy usually lands. Retry a few times
         // as the paper's APT does.

@@ -22,8 +22,8 @@
 //! ours copy a simulated secret between simulated memory regions and write
 //! a connect-marker — same control flow, no capability.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uwm_rng::rngs::StdRng;
+use uwm_rng::{Rng, SeedableRng};
 
 use uwm_core::error::Result;
 use uwm_core::skelly::{Redundancy, Skelly};
@@ -73,22 +73,48 @@ impl Payload {
         let mut insts = vec![Inst::Xend];
         match self {
             Payload::ReverseShell => {
-                insts.push(Inst::Mov { dst: 0, src: Operand::Imm((CONNECT_MARKER & 0xFFFF_FFFF) as u32) });
-                insts.push(Inst::Mov { dst: 1, src: Operand::Imm((CONNECT_MARKER >> 32) as u32) });
+                insts.push(Inst::Mov {
+                    dst: 0,
+                    src: Operand::Imm((CONNECT_MARKER & 0xFFFF_FFFF) as u32),
+                });
+                insts.push(Inst::Mov {
+                    dst: 1,
+                    src: Operand::Imm((CONNECT_MARKER >> 32) as u32),
+                });
                 insts.push(Inst::Alu {
                     op: uwm_sim::isa::AluOp::Shl,
                     dst: 1,
                     a: 1,
                     b: Operand::Imm(32),
                 });
-                insts.push(Inst::Alu { op: uwm_sim::isa::AluOp::Or, dst: 0, a: 0, b: Operand::Reg(1) });
-                insts.push(Inst::Store { addr: MARKER_ADDR as u32, src: 0 });
+                insts.push(Inst::Alu {
+                    op: uwm_sim::isa::AluOp::Or,
+                    dst: 0,
+                    a: 0,
+                    b: Operand::Reg(1),
+                });
+                insts.push(Inst::Store {
+                    addr: MARKER_ADDR as u32,
+                    src: 0,
+                });
             }
             Payload::Exfiltrate => {
-                insts.push(Inst::Load { dst: 0, addr: SHADOW_ADDR as u32 });
-                insts.push(Inst::Store { addr: EXFIL_ADDR as u32, src: 0 });
-                insts.push(Inst::Mov { dst: 1, src: Operand::Imm(1) });
-                insts.push(Inst::Store { addr: MARKER_ADDR as u32, src: 1 });
+                insts.push(Inst::Load {
+                    dst: 0,
+                    addr: SHADOW_ADDR as u32,
+                });
+                insts.push(Inst::Store {
+                    addr: EXFIL_ADDR as u32,
+                    src: 0,
+                });
+                insts.push(Inst::Mov {
+                    dst: 1,
+                    src: Operand::Imm(1),
+                });
+                insts.push(Inst::Store {
+                    addr: MARKER_ADDR as u32,
+                    src: 1,
+                });
             }
         }
         insts.push(Inst::Halt);
@@ -162,20 +188,22 @@ impl WmApt {
     /// # Errors
     ///
     /// Fails if weird-machine construction exhausts the layout.
-    pub fn with_config(
-        cfg: MachineConfig,
-        seed: u64,
-        payload: Payload,
-    ) -> Result<(Self, Trigger)> {
+    pub fn with_config(cfg: MachineConfig, seed: u64, payload: Payload) -> Result<(Self, Trigger)> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x57ED_57ED);
         let mut sk = Skelly::new(cfg, seed)?;
         // Median-of-3 per decoded bit: the paper evaluates each trigger
         // multiple times because single TSX-XOR executions are too noisy.
-        sk.set_redundancy(Redundancy { samples: 3, votes: 1, k: 1 });
+        sk.set_redundancy(Redundancy {
+            samples: 3,
+            votes: 1,
+            k: 1,
+        });
 
         // --- build the secret header: jmp over the trap + AES key ---
         let target = MAP_ADDR + 4 * INST_SIZE; // skip key (2 insts) + trap
-        let jmp = Inst::Jmp { target: target as u32 };
+        let jmp = Inst::Jmp {
+            target: target as u32,
+        };
         let mut aes_key = [0u8; 16];
         rng.fill(&mut aes_key);
         let mut header = [0u8; TRIGGER_BYTES];
@@ -199,7 +227,9 @@ impl WmApt {
         let caller_pc = lay.alloc_app_code(4 * INST_SIZE)?;
         let mut a = Assembler::new(caller_pc);
         a.xbegin("handler");
-        a.push(Inst::Jmp { target: MAP_ADDR as u32 });
+        a.push(Inst::Jmp {
+            target: MAP_ADDR as u32,
+        });
         a.label("handler")?;
         a.push(Inst::Halt);
         m.add_program(a.finish()?);
@@ -207,9 +237,14 @@ impl WmApt {
 
         // --- arm the region: trap + encrypted payload; header slot holds
         //     the XOR-masked bytes (garbage until a good trigger) ---
-        let trap = Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) };
+        let trap = Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        };
         m.mem_mut().write_bytes(MAP_ADDR, &stored_header);
-        m.mem_mut().write_bytes(MAP_ADDR + 3 * INST_SIZE, &trap.encode());
+        m.mem_mut()
+            .write_bytes(MAP_ADDR + 3 * INST_SIZE, &trap.encode());
         m.mem_mut()
             .write_bytes(MAP_ADDR + 4 * INST_SIZE, &encrypted_payload);
         // Plant the simulated secret the exfil payload steals.
@@ -230,11 +265,7 @@ impl WmApt {
     /// Decodes `body` against the stored header on TSX weird-XOR circuits
     /// and attempts execution. Returns what happened.
     pub fn ping(&mut self, body: &Trigger) -> PingReport {
-        let xor_before = self
-            .sk
-            .counters()
-            .get("TSX_XOR")
-            .map_or(0, |c| c.raw_total);
+        let xor_before = self.sk.counters().get("TSX_XOR").map_or(0, |c| c.raw_total);
 
         // --- μWM one-time-pad decode, bit by bit ---
         let mut candidate = [0u8; TRIGGER_BYTES];
@@ -258,7 +289,8 @@ impl WmApt {
         // --- overwrite the region and execute it inside the transaction ---
         let m = self.sk.machine_mut();
         m.mem_mut().write_bytes(MAP_ADDR, &candidate[..8]);
-        m.mem_mut().write_bytes(MAP_ADDR + 4 * INST_SIZE, &decrypted);
+        m.mem_mut()
+            .write_bytes(MAP_ADDR + 4 * INST_SIZE, &decrypted);
         m.mem_mut().write_u64(MARKER_ADDR, 0);
         m.run_at(self.caller_pc);
         let triggered = self.check_marker();
@@ -269,11 +301,7 @@ impl WmApt {
         m.mem_mut()
             .write_bytes(MAP_ADDR + 4 * INST_SIZE, &self.encrypted_payload);
 
-        let xor_after = self
-            .sk
-            .counters()
-            .get("TSX_XOR")
-            .map_or(0, |c| c.raw_total);
+        let xor_after = self.sk.counters().get("TSX_XOR").map_or(0, |c| c.raw_total);
         PingReport {
             triggered,
             xor_executions: xor_after - xor_before,
@@ -362,9 +390,16 @@ mod tests {
         let found = region
             .windows(marker_bytes.len())
             .any(|w| w == marker_bytes);
-        assert!(!found, "marker constant must not appear in the armed region");
+        assert!(
+            !found,
+            "marker constant must not appear in the armed region"
+        );
         // Nor does the region decode to the payload's store instruction.
-        let store = Inst::Store { addr: MARKER_ADDR as u32, src: 0 }.encode();
+        let store = Inst::Store {
+            addr: MARKER_ADDR as u32,
+            src: 0,
+        }
+        .encode();
         assert!(!region.windows(8).any(|w| w == store));
     }
 

@@ -3,20 +3,24 @@
 //! TSX speculative-window length — the §5.2 time/visibility/accuracy
 //! trade-off, measured.
 //!
-//! These report *accuracy* through Criterion's measurement of work done at
-//! each setting; the printed accuracies land in the bench output.
+//! Each sweep prints the accuracy at the setting and times the per-op
+//! cost via the crate's mini-harness (`uwm_bench::harness`).
+//!
+//! Run with: `cargo bench -p uwm-bench --bench ablation`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uwm_bench::harness::bench;
 use uwm_core::skelly::{Redundancy, Skelly};
+use uwm_rng::rngs::StdRng;
+use uwm_rng::{Rng, SeedableRng};
 use uwm_sim::machine::MachineConfig;
 use uwm_sim::timing::NoiseConfig;
 
-/// Accuracy of 2 000 TSX_XOR executions at a given noise level.
+/// Accuracy of ~2 000 TSX_XOR raw executions at a given noise level.
 fn xor_accuracy(noise: NoiseConfig, red: Redundancy, seed: u64) -> f64 {
-    let mut cfg = MachineConfig::default();
-    cfg.noise = noise;
+    let cfg = MachineConfig {
+        noise,
+        ..MachineConfig::default()
+    };
     let mut sk = Skelly::new(cfg, seed).expect("skelly builds");
     sk.set_redundancy(red);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -31,33 +35,40 @@ fn xor_accuracy(noise: NoiseConfig, red: Redundancy, seed: u64) -> f64 {
     correct as f64 / trials as f64
 }
 
-fn bench_noise_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("noise_ablation");
-    group.sample_size(10);
+fn noise_sweep() {
     for level in [0.0, 0.25, 0.5, 1.0] {
         let acc = xor_accuracy(NoiseConfig::scaled(level), Redundancy::default(), 11);
         println!("ablation: noise level {level}: raw TSX_XOR accuracy {acc:.4}");
-        group.bench_with_input(
-            BenchmarkId::new("tsx_xor_at_noise", format!("{level}")),
-            &level,
-            |b, &level| {
-                let mut cfg = MachineConfig::default();
-                cfg.noise = NoiseConfig::scaled(level);
-                let mut sk = Skelly::new(cfg, 11).expect("skelly builds");
-                b.iter(|| sk.tsx_xor(true, false))
-            },
-        );
+        let cfg = MachineConfig {
+            noise: NoiseConfig::scaled(level),
+            ..MachineConfig::default()
+        };
+        let mut sk = Skelly::new(cfg, 11).expect("skelly builds");
+        bench(&format!("noise_ablation/tsx_xor_at_noise/{level}"), || {
+            sk.tsx_xor(true, false);
+        });
     }
-    group.finish();
 }
 
-fn bench_redundancy_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("redundancy_ablation");
-    group.sample_size(10);
+fn redundancy_sweep() {
     for (label, red) in [
         ("raw", Redundancy::default()),
-        ("s3", Redundancy { samples: 3, votes: 1, k: 1 }),
-        ("s3n3k2", Redundancy { samples: 3, votes: 3, k: 2 }),
+        (
+            "s3",
+            Redundancy {
+                samples: 3,
+                votes: 1,
+                k: 1,
+            },
+        ),
+        (
+            "s3n3k2",
+            Redundancy {
+                samples: 3,
+                votes: 3,
+                k: 2,
+            },
+        ),
         ("paper_s10n5k3", Redundancy::paper()),
     ] {
         let acc = xor_accuracy(NoiseConfig::default(), red, 13);
@@ -65,18 +76,18 @@ fn bench_redundancy_sweep(c: &mut Criterion) {
             "ablation: redundancy {label} ({} raw execs/op): voted TSX_XOR accuracy {acc:.4}",
             red.raw_executions()
         );
-        group.bench_with_input(BenchmarkId::new("tsx_xor_voted", label), &red, |b, &red| {
-            let mut sk = Skelly::noisy(13).expect("skelly builds");
-            sk.set_redundancy(red);
-            b.iter(|| sk.tsx_xor(true, true))
-        });
+        let mut sk = Skelly::noisy(13).expect("skelly builds");
+        sk.set_redundancy(red);
+        bench(
+            &format!("redundancy_ablation/tsx_xor_voted/{label}"),
+            || {
+                sk.tsx_xor(true, true);
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_window_sweep(c: &mut Criterion) {
-    let mut group = c.benchmark_group("window_ablation");
-    group.sample_size(10);
+fn window_sweep() {
     // The TSX post-fault window must sit between "a few L1 hits" and "a
     // DRAM miss" for gates to work; sweep it across that band.
     for window in [40u64, 80, 120, 160, 240] {
@@ -96,14 +107,17 @@ fn bench_window_sweep(c: &mut Criterion) {
             "ablation: tsx window {window} cycles: TSX_AND accuracy {:.4}",
             correct as f64 / trials as f64
         );
-        group.bench_with_input(
-            BenchmarkId::new("tsx_and_at_window", window),
-            &window,
-            |b, _| b.iter(|| sk.tsx_and(true, true)),
+        bench(
+            &format!("window_ablation/tsx_and_at_window/{window}"),
+            || {
+                sk.tsx_and(true, true);
+            },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_noise_sweep, bench_redundancy_sweep, bench_window_sweep);
-criterion_main!(benches);
+fn main() {
+    noise_sweep();
+    redundancy_sweep();
+    window_sweep();
+}

@@ -1,60 +1,61 @@
-//! Criterion benchmarks for composed weird computation: circuits, the
-//! full adder, 32-bit addition, and one SHA-1 compression.
+//! Benchmarks for composed weird computation: circuits, the full adder,
+//! 32-bit addition, and one SHA-1 compression, timed by the crate's own
+//! mini-harness (`uwm_bench::harness`).
+//!
+//! Run with: `cargo bench -p uwm-bench --bench circuits`
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use uwm_apps::UwmSha1;
+use uwm_bench::harness::bench;
 use uwm_core::circuit::CircuitBuilder;
 use uwm_core::skelly::{Redundancy, Skelly};
 use uwm_crypto::sha1::H0;
 
-fn bench_xor_circuit(c: &mut Criterion) {
+fn bench_xor_circuit() {
     let mut sk = Skelly::noisy(3).expect("skelly builds");
-    let (m, lay) = sk.machine_and_layout();
-    let mut cb = CircuitBuilder::new();
-    let a = cb.input(m, lay).expect("layout");
-    let b = cb.input(m, lay).expect("layout");
-    let q = cb.xor(m, lay, a, b).expect("layout");
-    cb.mark_output(q);
-    let circuit = cb.finish().expect("valid circuit");
-    c.bench_function("tsx_xor_circuit_run", |bch| {
-        let mut i = 0u32;
-        bch.iter(|| {
-            i = i.wrapping_add(1);
-            circuit
-                .run(sk.machine_mut(), &[i & 1 == 0, i & 2 == 0])
-                .expect("arity")
-        })
+    let circuit = {
+        let (m, lay) = sk.machine_and_layout();
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input(lay).expect("layout");
+        let b = cb.input(lay).expect("layout");
+        let q = cb.xor(lay, a, b).expect("layout");
+        cb.mark_output(q);
+        cb.finish().expect("valid circuit").instantiate(m)
+    };
+    let mut i = 0u32;
+    bench("tsx_xor_circuit_run", || {
+        i = i.wrapping_add(1);
+        circuit
+            .run(sk.machine_mut(), &[i & 1 == 0, i & 2 == 0])
+            .expect("arity");
     });
 }
 
-fn bench_adders(c: &mut Criterion) {
+fn bench_adders() {
     let mut sk = Skelly::noisy(4).expect("skelly builds");
-    c.bench_function("full_adder_bit", |b| {
-        b.iter(|| sk.full_adder(true, false, true))
+    bench("full_adder_bit", || {
+        sk.full_adder(true, false, true);
     });
-    c.bench_function("add32", |b| {
-        let mut x = 0u32;
-        b.iter(|| {
-            x = x.wrapping_add(0x9E37_79B9);
-            sk.add32(x, 0x1234_5678)
-        })
+    let mut x = 0u32;
+    bench("add32", || {
+        x = x.wrapping_add(0x9E37_79B9);
+        sk.add32(x, 0x1234_5678);
     });
 }
 
-fn bench_sha1_compress(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha1");
-    group.sample_size(10);
+fn bench_sha1_compress() {
     let mut sk = Skelly::noisy(5).expect("skelly builds");
     sk.set_redundancy(Redundancy::default());
     let block: [u8; 64] = core::array::from_fn(|i| i as u8);
-    group.bench_function("uwm_compress_block_raw", |b| {
-        b.iter(|| UwmSha1::new(&mut sk).compress(H0, &block))
+    bench("sha1/uwm_compress_block_raw", || {
+        UwmSha1::new(&mut sk).compress(H0, &block);
     });
-    group.bench_function("reference_compress_block", |b| {
-        b.iter(|| uwm_crypto::sha1::compress_block(H0, &block))
+    bench("sha1/reference_compress_block", || {
+        uwm_crypto::sha1::compress_block(H0, &block);
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_xor_circuit, bench_adders, bench_sha1_compress);
-criterion_main!(benches);
+fn main() {
+    bench_xor_circuit();
+    bench_adders();
+    bench_sha1_compress();
+}

@@ -1,12 +1,14 @@
-//! Criterion throughput benchmarks for individual weird gates — the
-//! host-side counterpart of Table 2's "Executions/Second" column.
+//! Throughput benchmarks for individual weird gates — the host-side
+//! counterpart of Table 2's "Executions/Second" column, timed by the
+//! crate's own mini-harness (`uwm_bench::harness`).
+//!
+//! Run with: `cargo bench -p uwm-bench --bench gates`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uwm_bench::harness::bench;
 use uwm_core::skelly::Skelly;
 
-fn bench_gates(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gate_execution");
-    group.sample_size(20);
+fn main() {
+    println!("gate_execution: single voted execution per iteration\n");
     for gate in [
         "AND",
         "OR",
@@ -22,31 +24,8 @@ fn bench_gates(c: &mut Criterion) {
         let mut sk = Skelly::noisy(1).expect("skelly builds");
         let arity = sk.arity_named(gate);
         let inputs = vec![true; arity];
-        group.bench_with_input(BenchmarkId::from_parameter(gate), &inputs, |b, inputs| {
-            b.iter(|| sk.execute_named(gate, inputs).expect("arity"));
+        bench(&format!("gate_execution/{gate}"), || {
+            sk.execute_named(gate, &inputs).expect("arity");
         });
     }
-    group.finish();
 }
-
-fn bench_registers(c: &mut Criterion) {
-    use uwm_core::layout::Layout;
-    use uwm_core::reg::{DcWr, WeirdRegister};
-    use uwm_sim::machine::{Machine, MachineConfig};
-
-    let mut m = Machine::new(MachineConfig::default(), 2);
-    let mut lay = Layout::new(m.predictor().alias_stride());
-    let reg = DcWr::build(&mut m, &mut lay).expect("layout available");
-    c.bench_function("dcwr_write_read", |b| {
-        b.iter(|| {
-            reg.write(&mut m, true);
-            let one = reg.read(&mut m);
-            reg.write(&mut m, false);
-            let zero = reg.read(&mut m);
-            (one, zero)
-        })
-    });
-}
-
-criterion_group!(benches, bench_gates, bench_registers);
-criterion_main!(benches);

@@ -2,33 +2,31 @@
 //! AND and OR gates, showing the logic-level boundary between hit-like
 //! and miss-like output reads.
 //!
-//! Usage: `cargo run --release -p uwm-bench --bin fig7_fig8 [scale]`
+//! Usage: `cargo run --release -p uwm-bench --bin fig7_fig8 -- [scale] [--shards N] [--json PATH]`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use uwm_bench::{arg_scale, delay_histogram, scaled};
+use uwm_bench::json::Json;
+use uwm_bench::{delay_histogram, maybe_write_json, parse_args, scaled, sharded_delays};
 use uwm_core::gate::READ_THRESHOLD;
-use uwm_core::skelly::Skelly;
+use uwm_rng::Rng;
 
 fn main() {
-    let samples = scaled(20_000, arg_scale());
+    let args = parse_args();
+    let samples = scaled(20_000, args.scale);
+    let mut figures = Vec::new();
     for (fig, gate) in [("Figure 7", "AND"), ("Figure 8", "OR")] {
-        let mut sk = Skelly::noisy(0xF7).expect("skelly builds");
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut delays = Vec::with_capacity(samples as usize);
-        for _ in 0..samples {
+        let delays = sharded_delays(samples, 0xF7, args.shards, |sk, rng| {
             let inputs = [rng.gen::<bool>(), rng.gen::<bool>()];
-            delays.push(sk.execute_named(gate, &inputs).expect("arity").delay);
-        }
+            sk.execute_named(gate, &inputs).expect("arity").delay
+        });
         println!("{fig}: bp/icache {gate} gate — measured timing distribution");
-        println!("({samples} samples; logic boundary at {READ_THRESHOLD} cycles)\n");
+        println!(
+            "({samples} samples, {} shard(s); logic boundary at {READ_THRESHOLD} cycles)\n",
+            args.shards
+        );
         println!("{:>10} {:>10}", "delay", "count");
-        let peak = delay_histogram(&delays, 8)
-            .iter()
-            .map(|&(_, c)| c)
-            .max()
-            .unwrap_or(1);
-        for (bucket, count) in delay_histogram(&delays, 8) {
+        let histogram = delay_histogram(&delays, 8);
+        let peak = histogram.iter().map(|&(_, c)| c).max().unwrap_or(1);
+        for &(bucket, count) in &histogram {
             if bucket > 400 {
                 // Collapse the interrupt-spike tail into one line.
                 let tail: u64 = delays.iter().filter(|&&d| d > 400).count() as u64;
@@ -44,7 +42,29 @@ fn main() {
             println!("{bucket:>10} {count:>10} {bar}{marker}");
         }
         println!();
+        figures.push(Json::obj([
+            ("figure", Json::Str(fig.to_owned())),
+            ("gate", Json::Str(gate.to_owned())),
+            ("samples", Json::UInt(samples)),
+            ("shards", Json::UInt(args.shards as u64)),
+            (
+                "histogram",
+                Json::Arr(
+                    histogram
+                        .iter()
+                        .map(|&(b, c)| Json::Arr(vec![Json::UInt(b), Json::UInt(c)]))
+                        .collect(),
+                ),
+            ),
+        ]));
     }
+    maybe_write_json(
+        &args,
+        &Json::obj([
+            ("table", Json::Str("fig7_fig8".into())),
+            ("figures", Json::Arr(figures)),
+        ]),
+    );
     println!("Expected shape (paper): two clusters — logic-1 reads near the");
     println!("L1 latency, logic-0 reads near the DRAM latency — separated by");
     println!("the threshold, with a sparse heavy tail from interrupts.");

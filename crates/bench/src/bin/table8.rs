@@ -1,17 +1,23 @@
 //! Table 8: TSX gate accuracy and unrecovered transaction aborts over
 //! 64 000 random-input operations per gate.
 //!
-//! Usage: `cargo run --release -p uwm-bench --bin table8 [scale]`
+//! Usage: `cargo run --release -p uwm-bench --bin table8 -- [scale] [--shards N] [--json PATH]`
 
-use uwm_bench::{arg_scale, scaled, tsx_accuracy};
+use uwm_bench::json::Json;
+use uwm_bench::{gate_performance_sharded, maybe_write_json, parse_args, scaled};
 
 fn main() {
-    let ops = scaled(64_000, arg_scale());
-    println!("Table 8: TSX Gate Accuracy ({ops} ops per gate)\n");
+    let args = parse_args();
+    let ops = scaled(64_000, args.scale);
+    println!(
+        "Table 8: TSX Gate Accuracy ({ops} ops per gate, {} shard(s))\n",
+        args.shards
+    );
     println!(
         "{:<8} {:>12} {:>12} {:>10} {:>14}",
         "Gate", "Correct Ops", "TSX Aborts", "Total Ops", "Mean Accuracy"
     );
+    let mut rows = Vec::new();
     for (i, (label, gate)) in [
         ("AND", "TSX_AND"),
         ("OR", "TSX_OR"),
@@ -21,15 +27,23 @@ fn main() {
     .into_iter()
     .enumerate()
     {
-        let r = tsx_accuracy(gate, ops, 0x78 + i as u64);
+        let r = gate_performance_sharded(gate, ops, 0x78 + i as u64, args.shards);
         println!(
             "{label:<8} {:>12} {:>12} {:>10} {:>14.5}",
-            r.correct,
-            r.spurious_aborts,
-            r.ops,
-            r.accuracy()
+            r.run.correct,
+            r.run.spurious_aborts,
+            r.run.ops,
+            r.run.accuracy()
         );
+        rows.push(r.report_row(gate));
     }
+    maybe_write_json(
+        &args,
+        &Json::obj([
+            ("table", Json::Str("table8".into())),
+            ("gates", Json::Arr(rows)),
+        ]),
+    );
     println!("\nExpected shape (paper): accuracies 0.92–0.99 with XOR lowest;");
     println!("a handful of spurious aborts per 64k ops (~1.5e-4).");
 }

@@ -1,0 +1,107 @@
+//! A tiny microbenchmark harness for the `benches/` targets.
+//!
+//! The workspace builds offline without Criterion, so the `harness =
+//! false` bench targets time themselves through this module: calibrate an
+//! iteration count to a target sample duration, take several samples, and
+//! report the median nanoseconds per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Samples per measurement; the reported figure is their median.
+const SAMPLES: usize = 7;
+
+/// Target wall-clock duration of one sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+
+/// Result of one [`bench`] measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample's nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's nanoseconds per iteration.
+    pub max_ns: f64,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+}
+
+/// Times `f`, printing a Criterion-style summary line, and returns the
+/// measurement. `label` conventionally uses `group/name` form.
+pub fn bench<F: FnMut()>(label: &str, mut f: F) -> Measurement {
+    // Calibrate: grow the iteration count until one sample takes long
+    // enough to time reliably.
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET || iters >= 1 << 24 {
+            break;
+        }
+        let grow = if elapsed.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_nanos() / elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = (iters * grow.clamp(2, 16)).min(1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let m = Measurement {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        iters,
+    };
+    println!(
+        "{label:<40} {:>12}/iter (min {}, max {}; {} iters x {SAMPLES} samples)",
+        format_ns(m.median_ns),
+        format_ns(m.min_ns),
+        format_ns(m.max_ns),
+        m.iters,
+    );
+    m
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut x = 0u64;
+        let m = bench("test/noop_add", || x = x.wrapping_add(1));
+        assert!(m.iters > 1, "cheap closure must calibrate past 1 iter");
+        assert!(m.median_ns >= 0.0);
+        assert!(m.min_ns <= m.median_ns && m.median_ns <= m.max_ns);
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(format_ns(12.0), "12ns");
+        assert_eq!(format_ns(1_500.0), "1.50us");
+        assert_eq!(format_ns(2_500_000.0), "2.50ms");
+    }
+}

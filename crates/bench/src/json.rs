@@ -1,0 +1,149 @@
+//! A minimal JSON writer for `--json` report output.
+//!
+//! The workspace builds offline with no external dependencies, so the
+//! table binaries serialize their reports through this hand-rolled value
+//! type instead of a serde stack. Output is deterministic: object keys
+//! keep insertion order and floats use Rust's shortest round-trip format.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for counters).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Self {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the value as a compact JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Num(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes `value` to `path` as a JSON document with a trailing newline.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_file(path: &std::path::Path, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, value.render() + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::UInt(42).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), r#""a\"b\\c\nd""#);
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_compound_values() {
+        let v = Json::obj([
+            ("gate", Json::Str("TSX_AND".into())),
+            ("ops", Json::UInt(100)),
+            ("tags", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+        ]);
+        assert_eq!(v.render(), r#"{"gate":"TSX_AND","ops":100,"tags":[1,2]}"#);
+    }
+
+    #[test]
+    fn float_format_round_trips() {
+        for x in [0.1, 1.0 / 3.0, 1e-9, 123456.789] {
+            let rendered = Json::Num(x).render();
+            assert_eq!(rendered.parse::<f64>().unwrap(), x, "{rendered}");
+        }
+    }
+}

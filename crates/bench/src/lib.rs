@@ -14,31 +14,104 @@
 //! | Figures 7–8 (timing KDEs)          | [`delay_histogram`]       | `fig7_fig8` |
 //! | Tables 6–7 (TSX read delays)       | [`delay_by_input`]        | `table6_table7` |
 //! | Table 8 (TSX accuracy + aborts)    | [`tsx_accuracy`]          | `table8` |
+//!
+//! Every binary accepts `--shards N` (fan hermetic trial batches across
+//! `N` OS threads; results are deterministic per seed regardless of `N`)
+//! and `--json PATH` (write a machine-readable report). The sharded
+//! runners ([`gate_performance_sharded`] and friends) build one
+//! machine-free [`SkellySpec`] and instantiate it per batch, so every
+//! batch is hermetic: its own machine, its own gate instances, its own
+//! seed derived by [`uwm_core::exec::batch_seed`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod harness;
+pub mod json;
 pub mod stats;
 
 use std::time::Instant;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uwm_rng::rngs::StdRng;
+use uwm_rng::{Rng, SeedableRng};
 
+use json::Json;
 use stats::Summary;
 use uwm_apps::wm_apt::{Payload, WmApt};
 use uwm_apps::UwmSha1;
-use uwm_core::skelly::{GateCounters, Redundancy, Skelly};
+use uwm_core::exec::{batch_seed, ShardedExecutor};
+use uwm_core::skelly::{CounterBank, GateCounters, Redundancy, Skelly, SkellySpec};
 use uwm_crypto::sha1;
 use uwm_sim::machine::MachineConfig;
 
-/// Scale factor for expensive experiments, read from the first CLI
-/// argument (`1.0` = the paper's sizes). Lets CI run `table2 0.01`.
-pub fn arg_scale() -> f64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+/// Common CLI arguments of the table binaries.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Scale factor for iteration counts (first positional argument;
+    /// `1.0` = the paper's sizes, so CI can run `table2 0.01`).
+    pub scale: f64,
+    /// Shard count for the parallel runners (`--shards N`).
+    pub shards: usize,
+    /// Destination for a machine-readable report (`--json PATH`).
+    pub json: Option<std::path::PathBuf>,
+}
+
+/// Parses `[scale] [--shards N] [--json PATH]` from the process args.
+///
+/// Prints a usage message to stderr and exits with status 2 on malformed
+/// arguments.
+pub fn parse_args() -> BenchArgs {
+    fn usage(msg: &str) -> ! {
+        eprintln!("error: {msg}");
+        eprintln!("usage: [scale] [--shards N] [--json PATH]");
+        std::process::exit(2);
+    }
+    let mut out = BenchArgs {
+        scale: 1.0,
+        shards: 1,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--shards=") {
+            out.shards = v
+                .parse()
+                .unwrap_or_else(|_| usage("--shards takes a positive integer"));
+        } else if a == "--shards" {
+            let Some(v) = args.next() else {
+                usage("--shards takes a value");
+            };
+            out.shards = v
+                .parse()
+                .unwrap_or_else(|_| usage("--shards takes a positive integer"));
+        } else if let Some(v) = a.strip_prefix("--json=") {
+            out.json = Some(v.into());
+        } else if a == "--json" {
+            let Some(v) = args.next() else {
+                usage("--json takes a path");
+            };
+            out.json = Some(v.into());
+        } else {
+            out.scale = a
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("unrecognized argument {a:?}")));
+        }
+    }
+    out.shards = out.shards.max(1);
+    out
+}
+
+/// Writes `report` to `args.json` when the flag was given. A write failure
+/// is reported on stderr and exits with status 1 (the printed table has
+/// already reached stdout at that point).
+pub fn maybe_write_json(args: &BenchArgs, report: &Json) {
+    if let Some(path) = &args.json {
+        if let Err(e) = json::write_file(path, report) {
+            eprintln!("error: cannot write json report to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("json report written to {}", path.display());
+    }
 }
 
 /// Scales an iteration count, keeping at least one.
@@ -125,6 +198,166 @@ pub fn gate_performance(name: &str, ops: u64, seed: u64) -> GateRun {
     gate_run(&mut sk, name, ops, seed ^ 0xBEEF)
 }
 
+/// Operations per hermetic batch in the sharded runners. Fixed, so the
+/// batch split — and therefore every per-batch seed — depends only on the
+/// total operation count, never on the shard count: merged results are
+/// identical for any `--shards` value.
+pub const GATE_BATCH_OPS: u64 = 4096;
+
+/// Merged result of a sharded gate accuracy / throughput run.
+#[derive(Debug, Clone)]
+pub struct ShardedGateRun {
+    /// Merged counts; `seconds` is the wall-clock of the whole fan-out.
+    pub run: GateRun,
+    /// Shards the executor used.
+    pub shards: usize,
+    /// Order statistics over every output-read delay, merged in batch
+    /// order.
+    pub delays: Summary,
+}
+
+impl ShardedGateRun {
+    /// The machine-readable report row for this run.
+    pub fn report_row(&self, gate: &str) -> Json {
+        Json::obj([
+            ("gate", Json::Str(gate.to_owned())),
+            ("ops", Json::UInt(self.run.ops)),
+            ("correct", Json::UInt(self.run.correct)),
+            ("accuracy", Json::Num(self.run.accuracy())),
+            ("median_delay_cycles", Json::UInt(self.delays.median)),
+            ("delay_std_dev", Json::Num(self.delays.std_dev)),
+            ("sim_cycles", Json::UInt(self.run.sim_cycles)),
+            ("spurious_aborts", Json::UInt(self.run.spurious_aborts)),
+            ("wall_seconds", Json::Num(self.run.seconds)),
+            ("shards", Json::UInt(self.shards as u64)),
+        ])
+    }
+}
+
+struct GateBatch {
+    ops: u64,
+    correct: u64,
+    sim_cycles: u64,
+    spurious_aborts: u64,
+    delays: Vec<u64>,
+}
+
+/// [`gate_performance`] fanned across `shards` threads: one machine-free
+/// [`SkellySpec`] instantiated per hermetic batch of [`GATE_BATCH_OPS`]
+/// operations. Merged counts and delay statistics are deterministic per
+/// `(name, ops, seed)` for every shard count.
+pub fn gate_performance_sharded(name: &str, ops: u64, seed: u64, shards: usize) -> ShardedGateRun {
+    let spec = SkellySpec::new().expect("spec builds");
+    let exec = ShardedExecutor::new(shards);
+    let batches = ops.div_ceil(GATE_BATCH_OPS).max(1) as usize;
+    let start = Instant::now();
+    let parts = exec.run(batches, |i| {
+        let done = i as u64 * GATE_BATCH_OPS;
+        let batch_ops = GATE_BATCH_OPS.min(ops - done);
+        let mut sk = spec.instantiate(MachineConfig::default(), batch_seed(seed, i));
+        let mut rng = StdRng::seed_from_u64(batch_seed(seed ^ 0xBEEF, i));
+        let arity = sk.arity_named(name);
+        let mut inputs = vec![false; arity];
+        let aborts_before = sk.machine().stats().tx_spurious_aborts;
+        let cycles_before = sk.machine().cycles();
+        let mut correct = 0u64;
+        let mut delays = Vec::with_capacity(batch_ops as usize);
+        for _ in 0..batch_ops {
+            for b in &mut inputs {
+                *b = rng.gen();
+            }
+            let r = sk.execute_named(name, &inputs).expect("arity matches");
+            if r.bit == sk.truth_named(name, &inputs) {
+                correct += 1;
+            }
+            delays.push(r.delay);
+        }
+        GateBatch {
+            ops: batch_ops,
+            correct,
+            sim_cycles: sk.machine().cycles() - cycles_before,
+            spurious_aborts: sk.machine().stats().tx_spurious_aborts - aborts_before,
+            delays,
+        }
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let mut run = GateRun {
+        ops: 0,
+        correct: 0,
+        seconds,
+        sim_cycles: 0,
+        spurious_aborts: 0,
+    };
+    let mut delays = Vec::with_capacity(ops as usize);
+    for p in &parts {
+        run.ops += p.ops;
+        run.correct += p.correct;
+        run.sim_cycles += p.sim_cycles;
+        run.spurious_aborts += p.spurious_aborts;
+        delays.extend_from_slice(&p.delays);
+    }
+    let delays = if delays.is_empty() {
+        Summary::from_samples(&[0])
+    } else {
+        Summary::from_samples(&delays)
+    };
+    ShardedGateRun {
+        run,
+        shards: exec.shards(),
+        delays,
+    }
+}
+
+/// Collects one delay sample per operation from `sample`, fanning
+/// hermetic batches across `shards` threads. Each batch gets a fresh
+/// skelly (instantiated from one shared spec) and a seeded RNG; results
+/// concatenate in batch order, so the full vector is deterministic per
+/// seed for every shard count.
+pub fn sharded_delays<F>(ops: u64, seed: u64, shards: usize, sample: F) -> Vec<u64>
+where
+    F: Fn(&mut Skelly, &mut StdRng) -> u64 + Sync,
+{
+    let spec = SkellySpec::new().expect("spec builds");
+    let exec = ShardedExecutor::new(shards);
+    let batches = ops.div_ceil(GATE_BATCH_OPS).max(1) as usize;
+    exec.run(batches, |i| {
+        let done = i as u64 * GATE_BATCH_OPS;
+        let n = GATE_BATCH_OPS.min(ops - done);
+        let mut sk = spec.instantiate(MachineConfig::default(), batch_seed(seed, i));
+        let mut rng = StdRng::seed_from_u64(batch_seed(seed ^ 0xF00D, i));
+        (0..n)
+            .map(|_| sample(&mut sk, &mut rng))
+            .collect::<Vec<u64>>()
+    })
+    .concat()
+}
+
+/// Runs `batches` hermetic skelly workloads across `shards` threads and
+/// merges their counter banks in batch order — the determinism-test
+/// entry point: merged counters are identical for every shard count.
+pub fn sharded_counters<F>(
+    batches: usize,
+    cfg: MachineConfig,
+    seed: u64,
+    shards: usize,
+    work: F,
+) -> CounterBank
+where
+    F: Fn(&mut Skelly, usize) + Sync,
+{
+    let spec = SkellySpec::new().expect("spec builds");
+    let banks = ShardedExecutor::new(shards).run(batches, |i| {
+        let mut sk = spec.instantiate(cfg.clone(), batch_seed(seed, i));
+        work(&mut sk, i);
+        sk.counters().clone()
+    });
+    let mut merged = CounterBank::new();
+    for bank in &banks {
+        merged.merge(bank);
+    }
+    merged
+}
+
 /// Collects raw output-read delays of `gate` for one fixed input
 /// combination — the Tables 6–7 measurement.
 pub fn delay_by_input(sk: &mut Skelly, name: &str, inputs: &[bool], ops: u64) -> Vec<u64> {
@@ -158,8 +391,20 @@ pub fn gate_accuracy(name: &str, ops: u64, seed: u64) -> GateRun {
 /// of pings each needed before the payload fired (Table 3 / Figure 6).
 /// `cap` bounds each experiment so pathological noise cannot hang it.
 pub fn trigger_distribution(experiments: u32, cap: u32, seed: u64) -> Vec<u32> {
-    let mut counts = Vec::with_capacity(experiments as usize);
-    for e in 0..experiments {
+    trigger_distribution_sharded(experiments, cap, seed, 1)
+}
+
+/// [`trigger_distribution`] with each arm-and-trigger experiment fanned
+/// across `shards` threads. Experiments are hermetic by construction
+/// (each builds its own machine from `seed + index`), so the counts are
+/// identical for every shard count.
+pub fn trigger_distribution_sharded(
+    experiments: u32,
+    cap: u32,
+    seed: u64,
+    shards: usize,
+) -> Vec<u32> {
+    ShardedExecutor::new(shards).run(experiments as usize, |e| {
         let (mut apt, trigger) =
             WmApt::new(seed.wrapping_add(e as u64), Payload::ReverseShell).expect("apt builds");
         let mut pings = 0u32;
@@ -169,9 +414,8 @@ pub fn trigger_distribution(experiments: u32, cap: u32, seed: u64) -> Vec<u32> {
                 break;
             }
         }
-        counts.push(pings);
-    }
-    counts
+        pings
+    })
 }
 
 /// Result of one SHA-1-on-μWM experiment run (Table 4).
@@ -192,6 +436,20 @@ pub struct Sha1Experiment {
 /// Table 4 experiment.
 pub fn sha1_experiment(message: &[u8], red: Redundancy, seed: u64) -> Sha1Experiment {
     sha1_experiment_cfg(MachineConfig::default(), message, red, seed)
+}
+
+/// Independent [`sha1_experiment`] runs (seeds `seed..seed+runs`) fanned
+/// across `shards` threads, returned in run order.
+pub fn sha1_experiments_sharded(
+    message: &[u8],
+    red: Redundancy,
+    seed: u64,
+    runs: u32,
+    shards: usize,
+) -> Vec<Sha1Experiment> {
+    ShardedExecutor::new(shards).run(runs as usize, |r| {
+        sha1_experiment(message, red, seed.wrapping_add(r as u64))
+    })
 }
 
 /// [`sha1_experiment`] with an explicit machine configuration.
@@ -254,7 +512,7 @@ mod tests {
     fn trigger_distribution_quiet_cap() {
         let counts = trigger_distribution(2, 50, 1000);
         assert_eq!(counts.len(), 2);
-        assert!(counts.iter().all(|&c| c >= 1 && c <= 50));
+        assert!(counts.iter().all(|&c| (1..=50).contains(&c)));
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::Assemble(e) => write!(f, "gate assembly failed: {e}"),
-            CoreError::Arity { gate, expected, got } => {
+            CoreError::Arity {
+                gate,
+                expected,
+                got,
+            } => {
                 write!(f, "gate `{gate}` takes {expected} inputs, got {got}")
             }
             CoreError::LayoutExhausted { region } => {

@@ -15,12 +15,18 @@
 //!
 //! The boolean function is computed by the race itself: no architectural
 //! instruction ever combines the inputs.
+//!
+//! Like the TSX family, each gate is described machine-free by
+//! `spec(&mut layout)` and bound to a backend with
+//! [`GateSpec::instantiate`]; `build` composes the two. BP gate code is
+//! deliberately **not** warmed at instantiation — body-line residency *is*
+//! one of the gate's inputs.
 
 use crate::error::Result;
-use crate::gate::{check_arity, GateReading, WeirdGate, READ_THRESHOLD};
+use crate::gate::{check_arity, GateReading, GateSpec, ProgramUnit, WeirdGate, READ_THRESHOLD};
 use crate::layout::Layout;
+use crate::substrate::Substrate;
 use uwm_sim::isa::{Assembler, Inst};
-use uwm_sim::machine::Machine;
 
 /// How many times a training branch is executed per input write. Two-bit
 /// counters saturate after two; four gives margin against aliasing noise.
@@ -47,65 +53,145 @@ struct BranchBlock {
 }
 
 impl BranchBlock {
-    /// Emits the training branch for a gate branch at `branch_pc` and
-    /// returns the completed block.
+    /// Assembles the training branch for a gate branch at `branch_pc` and
+    /// returns the completed block plus its program fragment.
     fn finish(
-        m: &mut Machine,
         lay: &mut Layout,
         branch_pc: u64,
         body: u64,
         cond: u64,
-    ) -> Result<Self> {
+    ) -> Result<(Self, ProgramUnit)> {
         let train_cond = lay.alloc_var()?;
         let train_pc = lay.train_alias(branch_pc);
         let mut t = Assembler::new(train_pc);
         // Taken target == fall-through: training only moves the predictor.
-        t.push(Inst::Brz { cond_addr: train_cond as u32, rel: 0 });
+        t.push(Inst::Brz {
+            cond_addr: train_cond as u32,
+            rel: 0,
+        });
         t.push(Inst::Halt);
-        m.add_program(t.finish()?);
-        Ok(Self {
+        let block = Self {
             branch_pc,
             body,
             cond,
             train_pc,
             train_cond,
-        })
+        };
+        Ok((
+            block,
+            ProgramUnit {
+                program: t.finish()?,
+                warm: None,
+            },
+        ))
     }
 
     /// Writes the block's IC-WR: body-line residency.
-    fn set_ic(&self, m: &mut Machine, bit: bool) {
+    fn set_ic<S: Substrate + ?Sized>(&self, s: &mut S, bit: bool) {
         if bit {
-            m.touch_code(self.body);
+            s.touch_code(self.body);
         } else {
-            m.flush_addr(self.body);
+            s.flush_addr(self.body);
         }
     }
 
     /// Writes the block's BP-WR by running the aliased training branch.
     /// `toward_body = true` trains *not-taken* (fall through into the body
     /// on the speculative path).
-    fn train(&self, m: &mut Machine, toward_body: bool) {
-        m.mem_mut()
-            .write_u64(self.train_cond, if toward_body { 1 } else { 0 });
-        m.timed_read(self.train_cond); // warm: keep training cheap & reliable
+    fn train<S: Substrate + ?Sized>(&self, s: &mut S, toward_body: bool) {
+        s.write_word(self.train_cond, if toward_body { 1 } else { 0 });
+        s.timed_read(self.train_cond); // warm: keep training cheap & reliable
         for _ in 0..TRAIN_ITERS {
-            m.run_at(self.train_pc);
+            s.run_at(self.train_pc);
         }
     }
 
     /// Flushes the branch condition so resolution opens a long window.
-    fn arm(&self, m: &mut Machine) {
-        m.flush_addr(self.cond);
+    fn arm<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.flush_addr(self.cond);
     }
 }
 
 /// Reads the gate output: timed load against [`READ_THRESHOLD`].
-fn read_out(m: &mut Machine, out: u64) -> GateReading {
-    let delay = m.timed_read_tsc(out);
+fn read_out<S: Substrate + ?Sized>(s: &mut S, out: u64) -> GateReading {
+    let delay = s.timed_read_tsc(out);
     GateReading {
         bit: delay < READ_THRESHOLD,
         delay,
     }
+}
+
+/// Assembles a single-branch gate skeleton (branch + one aligned body
+/// line + halt) with the given body instruction; returns
+/// `(branch_pc, body, program)`.
+fn emit_single_block(
+    lay: &mut Layout,
+    cond: u64,
+    body_inst: Inst,
+) -> Result<(u64, u64, ProgramUnit)> {
+    let base = lay.alloc_gate_code(4 * 64)?;
+    let mut a = Assembler::new(base);
+    a.brz(cond as u32, "skip");
+    a.align_to(64);
+    a.label("body")?;
+    a.push(body_inst);
+    a.align_to(64);
+    a.label("skip")?;
+    a.push(Inst::Halt);
+    let body = a.resolve("body").expect("label defined above");
+    Ok((
+        base,
+        body,
+        ProgramUnit {
+            program: a.finish()?,
+            warm: None,
+        },
+    ))
+}
+
+/// Assembles a two-branch gate skeleton (Figure 2's shape): two branches,
+/// each with an aligned `store out` body; returns
+/// `(branch1_pc, body1, branch2_pc, body2, program)`.
+fn emit_double_block(
+    lay: &mut Layout,
+    cond1: u64,
+    cond2: u64,
+    out: u64,
+) -> Result<(u64, u64, u64, u64, ProgramUnit)> {
+    let base = lay.alloc_gate_code(6 * 64)?;
+    let mut a = Assembler::new(base);
+    a.brz(cond1 as u32, "g2");
+    a.align_to(64);
+    a.label("body1")?;
+    a.push(Inst::Store {
+        addr: out as u32,
+        src: BODY_SRC_REG,
+    });
+    a.align_to(64);
+    a.label("g2")?;
+    let g2_pc = a.pc();
+    a.brz(cond2 as u32, "skip");
+    a.align_to(64);
+    a.label("body2")?;
+    a.push(Inst::Store {
+        addr: out as u32,
+        src: BODY_SRC_REG,
+    });
+    a.align_to(64);
+    a.label("skip")?;
+    a.push(Inst::Halt);
+    let body1 = a.resolve("body1").expect("label defined above");
+    let body2 = a.resolve("body2").expect("label defined above");
+    Ok((
+        base,
+        body1,
+        g2_pc,
+        body2,
+        ProgramUnit {
+            program: a.finish()?,
+            warm: None,
+        },
+    ))
 }
 
 /// The weird `AND` gate of Figure 1.
@@ -134,42 +220,56 @@ pub struct BpAnd {
 }
 
 impl BpAnd {
-    /// Assembles the gate at fresh layout addresses.
+    /// Describes the gate at fresh layout addresses, machine-free.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let cond = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        let base = lay.alloc_gate_code(4 * 64)?;
-        let mut a = Assembler::new(base);
-        a.brz(cond as u32, "skip");
-        a.align_to(64);
-        a.label("body")?;
-        a.push(Inst::Store { addr: out as u32, src: BODY_SRC_REG });
-        a.align_to(64);
-        a.label("skip")?;
-        a.push(Inst::Halt);
-        let body = a.resolve("body").expect("label defined above");
-        m.add_program(a.finish()?);
-        let block = BranchBlock::finish(m, lay, base, body, cond)?;
-        Ok(Self { block, out })
+        let (base, body, gate_unit) = emit_single_block(
+            lay,
+            cond,
+            Inst::Store {
+                addr: out as u32,
+                src: BODY_SRC_REG,
+            },
+        )?;
+        let (block, train_unit) = BranchBlock::finish(lay, base, body, cond)?;
+        Ok(GateSpec::new(
+            Self { block, out },
+            vec![gate_unit, train_unit],
+        ))
+    }
+
+    /// Assembles and instantiates the gate in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
     }
 
     /// Executes the gate with explicit inputs; returns the output bit.
-    pub fn execute(&self, m: &mut Machine, ic: bool, bp: bool) -> bool {
-        self.execute_reading(m, ic, bp).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, ic: bool, bp: bool) -> bool {
+        self.execute_reading(s, ic, bp).bit
     }
 
     /// Executes the gate, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, ic: bool, bp: bool) -> GateReading {
-        self.block.set_ic(m, ic);
-        self.block.train(m, bp);
-        m.flush_addr(self.out); // output := 0
-        self.block.arm(m);
-        m.run_at(self.block.branch_pc);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        ic: bool,
+        bp: bool,
+    ) -> GateReading {
+        self.block.set_ic(s, ic);
+        self.block.train(s, bp);
+        s.flush_addr(self.out); // output := 0
+        self.block.arm(s);
+        s.run_at(self.block.branch_pc);
+        read_out(s, self.out)
     }
 }
 
@@ -186,9 +286,9 @@ impl WeirdGate for BpAnd {
         inputs[0] & inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -206,42 +306,50 @@ pub struct BpNand {
 }
 
 impl BpNand {
-    /// Assembles the gate at fresh layout addresses.
+    /// Describes the gate at fresh layout addresses, machine-free.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let cond = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        let base = lay.alloc_gate_code(4 * 64)?;
-        let mut a = Assembler::new(base);
-        a.brz(cond as u32, "skip");
-        a.align_to(64);
-        a.label("body")?;
-        a.push(Inst::Flush { addr: out as u32 });
-        a.align_to(64);
-        a.label("skip")?;
-        a.push(Inst::Halt);
-        let body = a.resolve("body").expect("label defined above");
-        m.add_program(a.finish()?);
-        let block = BranchBlock::finish(m, lay, base, body, cond)?;
-        Ok(Self { block, out })
+        let (base, body, gate_unit) =
+            emit_single_block(lay, cond, Inst::Flush { addr: out as u32 })?;
+        let (block, train_unit) = BranchBlock::finish(lay, base, body, cond)?;
+        Ok(GateSpec::new(
+            Self { block, out },
+            vec![gate_unit, train_unit],
+        ))
+    }
+
+    /// Assembles and instantiates the gate in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
     }
 
     /// Executes the gate with explicit inputs; returns the output bit.
-    pub fn execute(&self, m: &mut Machine, ic: bool, bp: bool) -> bool {
-        self.execute_reading(m, ic, bp).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, ic: bool, bp: bool) -> bool {
+        self.execute_reading(s, ic, bp).bit
     }
 
     /// Executes the gate, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, ic: bool, bp: bool) -> GateReading {
-        self.block.set_ic(m, ic);
-        self.block.train(m, bp);
-        m.timed_read(self.out); // output := 1 (pre-set)
-        self.block.arm(m);
-        m.run_at(self.block.branch_pc);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        ic: bool,
+        bp: bool,
+    ) -> GateReading {
+        self.block.set_ic(s, ic);
+        self.block.train(s, bp);
+        s.timed_read(self.out); // output := 1 (pre-set)
+        self.block.arm(s);
+        s.run_at(self.block.branch_pc);
+        read_out(s, self.out)
     }
 }
 
@@ -258,9 +366,9 @@ impl WeirdGate for BpNand {
         !(inputs[0] & inputs[1])
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -277,55 +385,58 @@ pub struct BpOr {
 }
 
 impl BpOr {
-    /// Assembles the gate at fresh layout addresses.
+    /// Describes the gate at fresh layout addresses, machine-free.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let cond1 = lay.alloc_var()?;
         let cond2 = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        let base = lay.alloc_gate_code(6 * 64)?;
-        let mut a = Assembler::new(base);
-        a.brz(cond1 as u32, "g2");
-        a.align_to(64);
-        a.label("body1")?;
-        a.push(Inst::Store { addr: out as u32, src: BODY_SRC_REG });
-        a.align_to(64);
-        a.label("g2")?;
-        let g2_pc = a.pc();
-        a.brz(cond2 as u32, "skip");
-        a.align_to(64);
-        a.label("body2")?;
-        a.push(Inst::Store { addr: out as u32, src: BODY_SRC_REG });
-        a.align_to(64);
-        a.label("skip")?;
-        a.push(Inst::Halt);
-        let body1 = a.resolve("body1").expect("label defined above");
-        let body2 = a.resolve("body2").expect("label defined above");
-        m.add_program(a.finish()?);
-        let block1 = BranchBlock::finish(m, lay, base, body1, cond1)?;
-        let block2 = BranchBlock::finish(m, lay, g2_pc, body2, cond2)?;
-        Ok(Self { block1, block2, out })
+        let (b1_pc, body1, b2_pc, body2, gate_unit) = emit_double_block(lay, cond1, cond2, out)?;
+        let (block1, train1) = BranchBlock::finish(lay, b1_pc, body1, cond1)?;
+        let (block2, train2) = BranchBlock::finish(lay, b2_pc, body2, cond2)?;
+        Ok(GateSpec::new(
+            Self {
+                block1,
+                block2,
+                out,
+            },
+            vec![gate_unit, train1, train2],
+        ))
+    }
+
+    /// Assembles and instantiates the gate in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
     }
 
     /// Executes the gate with explicit inputs; returns the output bit.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool) -> bool {
-        self.execute_reading(m, a, b).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, a: bool, b: bool) -> bool {
+        self.execute_reading(s, a, b).bit
     }
 
     /// Executes the gate, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, a: bool, b: bool) -> GateReading {
-        self.block1.set_ic(m, a);
-        self.block2.set_ic(m, true); // block 2's body must stay resident
-        self.block1.train(m, true); // unconditionally mistrained (Fig. 2)
-        self.block2.train(m, b);
-        m.flush_addr(self.out);
-        self.block1.arm(m);
-        self.block2.arm(m);
-        m.run_at(self.block1.branch_pc);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+    ) -> GateReading {
+        self.block1.set_ic(s, a);
+        self.block2.set_ic(s, true); // block 2's body must stay resident
+        self.block1.train(s, true); // unconditionally mistrained (Fig. 2)
+        self.block2.train(s, b);
+        s.flush_addr(self.out);
+        self.block1.arm(s);
+        self.block2.arm(s);
+        s.run_at(self.block1.branch_pc);
+        read_out(s, self.out)
     }
 }
 
@@ -342,9 +453,9 @@ impl WeirdGate for BpOr {
         inputs[0] | inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -361,62 +472,67 @@ pub struct BpAndAndOr {
 }
 
 impl BpAndAndOr {
-    /// Assembles the gate at fresh layout addresses.
+    /// Describes the gate at fresh layout addresses, machine-free.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let cond1 = lay.alloc_var()?;
         let cond2 = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        let base = lay.alloc_gate_code(6 * 64)?;
-        let mut a = Assembler::new(base);
-        a.brz(cond1 as u32, "g2");
-        a.align_to(64);
-        a.label("body1")?;
-        a.push(Inst::Store { addr: out as u32, src: BODY_SRC_REG });
-        a.align_to(64);
-        a.label("g2")?;
-        let g2_pc = a.pc();
-        a.brz(cond2 as u32, "skip");
-        a.align_to(64);
-        a.label("body2")?;
-        a.push(Inst::Store { addr: out as u32, src: BODY_SRC_REG });
-        a.align_to(64);
-        a.label("skip")?;
-        a.push(Inst::Halt);
-        let body1 = a.resolve("body1").expect("label defined above");
-        let body2 = a.resolve("body2").expect("label defined above");
-        m.add_program(a.finish()?);
-        let block1 = BranchBlock::finish(m, lay, base, body1, cond1)?;
-        let block2 = BranchBlock::finish(m, lay, g2_pc, body2, cond2)?;
-        Ok(Self { block1, block2, out })
+        let (b1_pc, body1, b2_pc, body2, gate_unit) = emit_double_block(lay, cond1, cond2, out)?;
+        let (block1, train1) = BranchBlock::finish(lay, b1_pc, body1, cond1)?;
+        let (block2, train2) = BranchBlock::finish(lay, b2_pc, body2, cond2)?;
+        Ok(GateSpec::new(
+            Self {
+                block1,
+                block2,
+                out,
+            },
+            vec![gate_unit, train1, train2],
+        ))
+    }
+
+    /// Assembles and instantiates the gate in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
     }
 
     /// Executes `(a & b) | (c & d)`.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool, c: bool, d: bool) -> bool {
-        self.execute_reading(m, a, b, c, d).bit
+    pub fn execute<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+        c: bool,
+        d: bool,
+    ) -> bool {
+        self.execute_reading(s, a, b, c, d).bit
     }
 
     /// Executes the gate, reporting the raw output-read delay.
-    pub fn execute_reading(
+    pub fn execute_reading<S: Substrate + ?Sized>(
         &self,
-        m: &mut Machine,
+        s: &mut S,
         a: bool,
         b: bool,
         c: bool,
         d: bool,
     ) -> GateReading {
-        self.block1.set_ic(m, a);
-        self.block2.set_ic(m, c);
-        self.block1.train(m, b);
-        self.block2.train(m, d);
-        m.flush_addr(self.out);
-        self.block1.arm(m);
-        self.block2.arm(m);
-        m.run_at(self.block1.branch_pc);
-        read_out(m, self.out)
+        self.block1.set_ic(s, a);
+        self.block2.set_ic(s, c);
+        self.block1.train(s, b);
+        self.block2.train(s, d);
+        s.flush_addr(self.out);
+        self.block1.arm(s);
+        self.block2.arm(s);
+        s.run_at(self.block1.branch_pc);
+        read_out(s, self.out)
     }
 }
 
@@ -433,9 +549,9 @@ impl WeirdGate for BpAndAndOr {
         (inputs[0] & inputs[1]) | (inputs[2] & inputs[3])
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 4, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1], inputs[2], inputs[3]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1], inputs[2], inputs[3]))
     }
 }
 
@@ -443,7 +559,7 @@ impl WeirdGate for BpAndAndOr {
 mod tests {
     use super::*;
     use crate::gate::verify_truth_table;
-    use uwm_sim::machine::MachineConfig;
+    use uwm_sim::machine::{Machine, MachineConfig};
 
     fn setup() -> (Machine, Layout) {
         let m = Machine::new(MachineConfig::quiet(), 0);
@@ -501,6 +617,19 @@ mod tests {
         assert!(g2.execute(&mut m, true, false));
     }
 
+    /// One spec can instantiate the same gate on any number of machines —
+    /// the mechanism behind sharded execution.
+    #[test]
+    fn one_spec_instantiates_on_many_machines() {
+        let mut lay = Layout::new(8192);
+        let spec = BpAnd::spec(&mut lay).unwrap();
+        for seed in 0..3 {
+            let mut m = Machine::new(MachineConfig::quiet(), seed);
+            let g = spec.instantiate(&mut m);
+            assert_eq!(verify_truth_table(&g, &mut m).unwrap(), None, "seed {seed}");
+        }
+    }
+
     #[test]
     fn reading_reports_bimodal_delays() {
         let (mut m, mut lay) = setup();
@@ -517,7 +646,11 @@ mod tests {
         let g = BpAnd::build(&mut m, &mut lay).unwrap();
         assert!(matches!(
             g.execute_timed(&mut m, &[true]),
-            Err(crate::error::CoreError::Arity { expected: 2, got: 1, .. })
+            Err(crate::error::CoreError::Arity {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

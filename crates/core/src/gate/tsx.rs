@@ -16,12 +16,17 @@
 //! Reads of intermediate registers never happen; the paper stresses that a
 //! debugger attached to the transaction sees only `xbegin` followed by the
 //! abort handler.
+//!
+//! Every gate follows the spec/instance split: `spec`/`spec_wired` produce
+//! a machine-independent [`GateSpec`] from a [`Layout`] alone;
+//! `build`/`build_wired` are convenience wrappers that immediately
+//! instantiate the spec on a [`Substrate`].
 
 use crate::error::Result;
-use crate::gate::{check_arity, GateReading, WeirdGate, READ_THRESHOLD};
+use crate::gate::{check_arity, GateReading, GateSpec, ProgramUnit, WeirdGate, READ_THRESHOLD};
 use crate::layout::Layout;
+use crate::substrate::Substrate;
 use uwm_sim::isa::{AluOp, Assembler, Inst, Operand};
-use uwm_sim::machine::Machine;
 
 const R_TRASH: u8 = 1;
 const R_A: u8 = 2;
@@ -30,47 +35,66 @@ const R_T0: u8 = 6;
 const R_T1: u8 = 7;
 const R_T2: u8 = 8;
 
-/// Emits the transaction prologue (`xbegin` + faulting divide), runs
+/// Assembles the transaction prologue (`xbegin` + faulting divide), runs
 /// `chain` to emit the gate body, and closes with `xend` + abort handler.
+/// Returns the entry pc and the program fragment; nothing touches a
+/// machine.
 fn emit_tx(
-    m: &mut Machine,
     lay: &mut Layout,
     insts: u64,
     chain: impl FnOnce(&mut Assembler),
-) -> Result<u64> {
+) -> Result<(u64, ProgramUnit)> {
     let base = lay.alloc_app_code((insts + 4) * 8)?;
     let mut a = Assembler::new(base);
     a.xbegin("handler");
-    a.push(Inst::Div { dst: R_TRASH, a: R_TRASH, b: Operand::Imm(0) });
+    a.push(Inst::Div {
+        dst: R_TRASH,
+        a: R_TRASH,
+        b: Operand::Imm(0),
+    });
     chain(&mut a);
     a.push(Inst::Xend); // unreachable: the fault always aborts
     a.label("handler")?;
     a.push(Inst::Halt);
     let end = a.pc();
-    m.add_program(a.finish()?);
     // skelly "initializes [gate memory] at run time" (§6.2): a cold code
-    // line would lose the speculative race on the first activation.
-    m.warm_code_range(base, end);
-    Ok(base)
+    // line would lose the speculative race on the first activation, so the
+    // spec declares the whole transaction for warming at instantiation.
+    Ok((
+        base,
+        ProgramUnit {
+            program: a.finish()?,
+            warm: Some((base, end)),
+        },
+    ))
 }
 
 /// Emits `*(reg + ADDR(out))` — the output-setting dereference.
 fn emit_deref(a: &mut Assembler, src: u8, tmp: u8, out: u64) {
-    a.push(Inst::Alu { op: AluOp::Add, dst: tmp, a: src, b: Operand::Imm(out as u32) });
-    a.push(Inst::LoadInd { dst: R_TRASH, base: tmp, offset: 0 });
+    a.push(Inst::Alu {
+        op: AluOp::Add,
+        dst: tmp,
+        a: src,
+        b: Operand::Imm(out as u32),
+    });
+    a.push(Inst::LoadInd {
+        dst: R_TRASH,
+        base: tmp,
+        offset: 0,
+    });
 }
 
 /// Writes a DC-WR input: touch = 1, flush = 0.
-fn set_dc(m: &mut Machine, addr: u64, bit: bool) {
+fn set_dc<S: Substrate + ?Sized>(s: &mut S, addr: u64, bit: bool) {
     if bit {
-        m.timed_read(addr);
+        s.timed_read(addr);
     } else {
-        m.flush_addr(addr);
+        s.flush_addr(addr);
     }
 }
 
-fn read_out(m: &mut Machine, out: u64) -> GateReading {
-    let delay = m.timed_read_tsc(out);
+fn read_out<S: Substrate + ?Sized>(s: &mut S, out: u64) -> GateReading {
+    let delay = s.timed_read_tsc(out);
     GateReading {
         bit: delay < READ_THRESHOLD,
         delay,
@@ -104,28 +128,54 @@ pub struct TsxAssign {
 }
 
 impl TsxAssign {
-    /// Builds the gate with freshly allocated input/output registers.
+    /// Describes the gate with freshly allocated input/output registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let input = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        Self::build_wired(m, lay, input, out)
+        Self::spec_wired(lay, input, out)
     }
 
-    /// Builds the gate over existing registers (circuit wiring).
+    /// Describes the gate over existing registers (circuit wiring).
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(m: &mut Machine, lay: &mut Layout, input: u64, out: u64) -> Result<Self> {
-        let pc = emit_tx(m, lay, 3, |a| {
-            a.push(Inst::Load { dst: R_A, addr: input as u32 });
+    pub fn spec_wired(lay: &mut Layout, input: u64, out: u64) -> Result<GateSpec<Self>> {
+        let (pc, unit) = emit_tx(lay, 3, |a| {
+            a.push(Inst::Load {
+                dst: R_A,
+                addr: input as u32,
+            });
             emit_deref(a, R_A, R_T0, out);
         })?;
-        Ok(Self { pc, input, out })
+        Ok(GateSpec::new(Self { pc, input, out }, vec![unit]))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
+        lay: &mut Layout,
+        input: u64,
+        out: u64,
+    ) -> Result<Self> {
+        Ok(Self::spec_wired(lay, input, out)?.instantiate(s))
     }
 
     /// Input register address.
@@ -139,26 +189,26 @@ impl TsxAssign {
     }
 
     /// Initializes the output register to 0 (flush).
-    pub fn prepare(&self, m: &mut Machine) {
-        m.flush_addr(self.out);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.flush_addr(self.out);
     }
 
     /// Runs the transaction only — inputs/outputs untouched.
-    pub fn activate(&self, m: &mut Machine) {
-        m.run_at(self.pc);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.run_at(self.pc);
     }
 
     /// Full protocol with an explicit input bit.
-    pub fn execute(&self, m: &mut Machine, input: bool) -> bool {
-        self.execute_reading(m, input).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, input: bool) -> bool {
+        self.execute_reading(s, input).bit
     }
 
     /// Full protocol, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, input: bool) -> GateReading {
-        self.prepare(m);
-        set_dc(m, self.input, input);
-        self.activate(m);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(&self, s: &mut S, input: bool) -> GateReading {
+        self.prepare(s);
+        set_dc(s, self.input, input);
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -175,9 +225,9 @@ impl WeirdGate for TsxAssign {
         inputs[0]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 1, inputs)?;
-        Ok(self.execute_reading(m, inputs[0]))
+        Ok(self.execute_reading(s, inputs[0]))
     }
 }
 
@@ -191,37 +241,74 @@ pub struct TsxAnd {
 }
 
 impl TsxAnd {
-    /// Builds the gate with freshly allocated registers.
+    /// Describes the gate with freshly allocated registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let in_a = lay.alloc_var()?;
         let in_b = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        Self::build_wired(m, lay, in_a, in_b, out)
+        Self::spec_wired(lay, in_a, in_b, out)
     }
 
-    /// Builds the gate over existing registers (circuit wiring).
+    /// Describes the gate over existing registers (circuit wiring).
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(
-        m: &mut Machine,
+    pub fn spec_wired(lay: &mut Layout, in_a: u64, in_b: u64, out: u64) -> Result<GateSpec<Self>> {
+        let (pc, unit) = emit_tx(lay, 5, |a| {
+            a.push(Inst::Load {
+                dst: R_A,
+                addr: in_a as u32,
+            });
+            a.push(Inst::Load {
+                dst: R_B,
+                addr: in_b as u32,
+            });
+            a.push(Inst::Alu {
+                op: AluOp::Add,
+                dst: R_T0,
+                a: R_A,
+                b: Operand::Reg(R_B),
+            });
+            emit_deref(a, R_T0, R_T1, out);
+        })?;
+        Ok(GateSpec::new(
+            Self {
+                pc,
+                in_a,
+                in_b,
+                out,
+            },
+            vec![unit],
+        ))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
         lay: &mut Layout,
         in_a: u64,
         in_b: u64,
         out: u64,
     ) -> Result<Self> {
-        let pc = emit_tx(m, lay, 5, |a| {
-            a.push(Inst::Load { dst: R_A, addr: in_a as u32 });
-            a.push(Inst::Load { dst: R_B, addr: in_b as u32 });
-            a.push(Inst::Alu { op: AluOp::Add, dst: R_T0, a: R_A, b: Operand::Reg(R_B) });
-            emit_deref(a, R_T0, R_T1, out);
-        })?;
-        Ok(Self { pc, in_a, in_b, out })
+        Ok(Self::spec_wired(lay, in_a, in_b, out)?.instantiate(s))
     }
 
     /// First input register address.
@@ -240,27 +327,32 @@ impl TsxAnd {
     }
 
     /// Initializes the output register to 0.
-    pub fn prepare(&self, m: &mut Machine) {
-        m.flush_addr(self.out);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.flush_addr(self.out);
     }
 
     /// Runs the transaction only.
-    pub fn activate(&self, m: &mut Machine) {
-        m.run_at(self.pc);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.run_at(self.pc);
     }
 
     /// Full protocol with explicit input bits.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool) -> bool {
-        self.execute_reading(m, a, b).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, a: bool, b: bool) -> bool {
+        self.execute_reading(s, a, b).bit
     }
 
     /// Full protocol, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, a: bool, b: bool) -> GateReading {
-        self.prepare(m);
-        set_dc(m, self.in_a, a);
-        set_dc(m, self.in_b, b);
-        self.activate(m);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+    ) -> GateReading {
+        self.prepare(s);
+        set_dc(s, self.in_a, a);
+        set_dc(s, self.in_b, b);
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -277,9 +369,9 @@ impl WeirdGate for TsxAnd {
         inputs[0] & inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -293,37 +385,69 @@ pub struct TsxOr {
 }
 
 impl TsxOr {
-    /// Builds the gate with freshly allocated registers.
+    /// Describes the gate with freshly allocated registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let in_a = lay.alloc_var()?;
         let in_b = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        Self::build_wired(m, lay, in_a, in_b, out)
+        Self::spec_wired(lay, in_a, in_b, out)
     }
 
-    /// Builds the gate over existing registers (circuit wiring).
+    /// Describes the gate over existing registers (circuit wiring).
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(
-        m: &mut Machine,
+    pub fn spec_wired(lay: &mut Layout, in_a: u64, in_b: u64, out: u64) -> Result<GateSpec<Self>> {
+        let (pc, unit) = emit_tx(lay, 6, |a| {
+            a.push(Inst::Load {
+                dst: R_A,
+                addr: in_a as u32,
+            });
+            a.push(Inst::Load {
+                dst: R_B,
+                addr: in_b as u32,
+            });
+            emit_deref(a, R_A, R_T0, out);
+            emit_deref(a, R_B, R_T1, out);
+        })?;
+        Ok(GateSpec::new(
+            Self {
+                pc,
+                in_a,
+                in_b,
+                out,
+            },
+            vec![unit],
+        ))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
         lay: &mut Layout,
         in_a: u64,
         in_b: u64,
         out: u64,
     ) -> Result<Self> {
-        let pc = emit_tx(m, lay, 6, |a| {
-            a.push(Inst::Load { dst: R_A, addr: in_a as u32 });
-            a.push(Inst::Load { dst: R_B, addr: in_b as u32 });
-            emit_deref(a, R_A, R_T0, out);
-            emit_deref(a, R_B, R_T1, out);
-        })?;
-        Ok(Self { pc, in_a, in_b, out })
+        Ok(Self::spec_wired(lay, in_a, in_b, out)?.instantiate(s))
     }
 
     /// First input register address.
@@ -342,27 +466,32 @@ impl TsxOr {
     }
 
     /// Initializes the output register to 0.
-    pub fn prepare(&self, m: &mut Machine) {
-        m.flush_addr(self.out);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.flush_addr(self.out);
     }
 
     /// Runs the transaction only.
-    pub fn activate(&self, m: &mut Machine) {
-        m.run_at(self.pc);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.run_at(self.pc);
     }
 
     /// Full protocol with explicit input bits.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool) -> bool {
-        self.execute_reading(m, a, b).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, a: bool, b: bool) -> bool {
+        self.execute_reading(s, a, b).bit
     }
 
     /// Full protocol, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, a: bool, b: bool) -> GateReading {
-        self.prepare(m);
-        set_dc(m, self.in_a, a);
-        set_dc(m, self.in_b, b);
-        self.activate(m);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+    ) -> GateReading {
+        self.prepare(s);
+        set_dc(s, self.in_a, a);
+        set_dc(s, self.in_b, b);
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -379,9 +508,9 @@ impl WeirdGate for TsxOr {
         inputs[0] | inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -397,41 +526,85 @@ pub struct TsxAndOr {
 }
 
 impl TsxAndOr {
-    /// Builds the circuit with freshly allocated registers.
+    /// Describes the circuit with freshly allocated registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let in_a = lay.alloc_var()?;
         let in_b = lay.alloc_var()?;
         let out_and = lay.alloc_var()?;
         let out_or = lay.alloc_var()?;
-        Self::build_wired(m, lay, in_a, in_b, out_and, out_or)
+        Self::spec_wired(lay, in_a, in_b, out_and, out_or)
     }
 
-    /// Builds the circuit over existing registers.
+    /// Describes the circuit over existing registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(
-        m: &mut Machine,
+    pub fn spec_wired(
+        lay: &mut Layout,
+        in_a: u64,
+        in_b: u64,
+        out_and: u64,
+        out_or: u64,
+    ) -> Result<GateSpec<Self>> {
+        let (pc, unit) = emit_tx(lay, 9, |a| {
+            a.push(Inst::Load {
+                dst: R_A,
+                addr: in_a as u32,
+            });
+            a.push(Inst::Load {
+                dst: R_B,
+                addr: in_b as u32,
+            });
+            emit_deref(a, R_A, R_T0, out_or); // d3 := d0
+            emit_deref(a, R_B, R_T1, out_or); // d3 := d1
+            a.push(Inst::Alu {
+                op: AluOp::Add,
+                dst: R_T2,
+                a: R_A,
+                b: Operand::Reg(R_B),
+            });
+            emit_deref(a, R_T2, R_T2, out_and); // d2 := d0 & d1
+        })?;
+        Ok(GateSpec::new(
+            Self {
+                pc,
+                in_a,
+                in_b,
+                out_and,
+                out_or,
+            },
+            vec![unit],
+        ))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
         lay: &mut Layout,
         in_a: u64,
         in_b: u64,
         out_and: u64,
         out_or: u64,
     ) -> Result<Self> {
-        let pc = emit_tx(m, lay, 9, |a| {
-            a.push(Inst::Load { dst: R_A, addr: in_a as u32 });
-            a.push(Inst::Load { dst: R_B, addr: in_b as u32 });
-            emit_deref(a, R_A, R_T0, out_or); // d3 := d0
-            emit_deref(a, R_B, R_T1, out_or); // d3 := d1
-            a.push(Inst::Alu { op: AluOp::Add, dst: R_T2, a: R_A, b: Operand::Reg(R_B) });
-            emit_deref(a, R_T2, R_T2, out_and); // d2 := d0 & d1
-        })?;
-        Ok(Self { pc, in_a, in_b, out_and, out_or })
+        Ok(Self::spec_wired(lay, in_a, in_b, out_and, out_or)?.instantiate(s))
     }
 
     /// First input register address.
@@ -455,29 +628,34 @@ impl TsxAndOr {
     }
 
     /// Initializes both output registers to 0.
-    pub fn prepare(&self, m: &mut Machine) {
-        m.flush_addr(self.out_and);
-        m.flush_addr(self.out_or);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.flush_addr(self.out_and);
+        s.flush_addr(self.out_or);
     }
 
     /// Runs the transaction only.
-    pub fn activate(&self, m: &mut Machine) {
-        m.run_at(self.pc);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.run_at(self.pc);
     }
 
     /// Full protocol; returns `(a & b, a | b)`.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool) -> (bool, bool) {
-        let (and, or) = self.execute_readings(m, a, b);
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, a: bool, b: bool) -> (bool, bool) {
+        let (and, or) = self.execute_readings(s, a, b);
         (and.bit, or.bit)
     }
 
     /// Full protocol, reporting both raw output-read delays.
-    pub fn execute_readings(&self, m: &mut Machine, a: bool, b: bool) -> (GateReading, GateReading) {
-        self.prepare(m);
-        set_dc(m, self.in_a, a);
-        set_dc(m, self.in_b, b);
-        self.activate(m);
-        (read_out(m, self.out_and), read_out(m, self.out_or))
+    pub fn execute_readings<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+    ) -> (GateReading, GateReading) {
+        self.prepare(s);
+        set_dc(s, self.in_a, a);
+        set_dc(s, self.in_b, b);
+        self.activate(s);
+        (read_out(s, self.out_and), read_out(s, self.out_or))
     }
 }
 
@@ -496,9 +674,9 @@ impl WeirdGate for TsxAndOr {
         inputs[0] & inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        let (and, _) = self.execute_readings(m, inputs[0], inputs[1]);
+        let (and, _) = self.execute_readings(s, inputs[0], inputs[1]);
         Ok(and)
     }
 }
@@ -517,28 +695,57 @@ pub struct TsxNot {
 }
 
 impl TsxNot {
-    /// Builds the gate with freshly allocated registers.
+    /// Describes the gate with freshly allocated registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let input = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        Self::build_wired(m, lay, input, out)
+        Self::spec_wired(lay, input, out)
     }
 
-    /// Builds the gate over existing registers.
+    /// Describes the gate over existing registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(m: &mut Machine, lay: &mut Layout, input: u64, out: u64) -> Result<Self> {
-        let pc = emit_tx(m, lay, 2, |a| {
-            a.push(Inst::Load { dst: R_A, addr: input as u32 });
-            a.push(Inst::FlushInd { base: R_A, offset: out as u32 });
+    pub fn spec_wired(lay: &mut Layout, input: u64, out: u64) -> Result<GateSpec<Self>> {
+        let (pc, unit) = emit_tx(lay, 2, |a| {
+            a.push(Inst::Load {
+                dst: R_A,
+                addr: input as u32,
+            });
+            a.push(Inst::FlushInd {
+                base: R_A,
+                offset: out as u32,
+            });
         })?;
-        Ok(Self { pc, input, out })
+        Ok(GateSpec::new(Self { pc, input, out }, vec![unit]))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
+        lay: &mut Layout,
+        input: u64,
+        out: u64,
+    ) -> Result<Self> {
+        Ok(Self::spec_wired(lay, input, out)?.instantiate(s))
     }
 
     /// Input register address.
@@ -553,26 +760,26 @@ impl TsxNot {
 
     /// Initializes the output register to **1** (touch) — the inverted
     /// default this gate requires.
-    pub fn prepare(&self, m: &mut Machine) {
-        m.timed_read(self.out);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.timed_read(self.out);
     }
 
     /// Runs the transaction only.
-    pub fn activate(&self, m: &mut Machine) {
-        m.run_at(self.pc);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        s.run_at(self.pc);
     }
 
     /// Full protocol with an explicit input bit.
-    pub fn execute(&self, m: &mut Machine, input: bool) -> bool {
-        self.execute_reading(m, input).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, input: bool) -> bool {
+        self.execute_reading(s, input).bit
     }
 
     /// Full protocol, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, input: bool) -> GateReading {
-        self.prepare(m);
-        set_dc(m, self.input, input);
-        self.activate(m);
-        read_out(m, self.out)
+    pub fn execute_reading<S: Substrate + ?Sized>(&self, s: &mut S, input: bool) -> GateReading {
+        self.prepare(s);
+        set_dc(s, self.input, input);
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -589,9 +796,9 @@ impl WeirdGate for TsxNot {
         !inputs[0]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 1, inputs)?;
-        Ok(self.execute_reading(m, inputs[0]))
+        Ok(self.execute_reading(s, inputs[0]))
     }
 }
 
@@ -609,38 +816,58 @@ pub struct TsxXor {
 }
 
 impl TsxXor {
-    /// Builds the circuit with freshly allocated registers.
+    /// Describes the circuit with freshly allocated registers.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn spec(lay: &mut Layout) -> Result<GateSpec<Self>> {
         let in_a = lay.alloc_var()?;
         let in_b = lay.alloc_var()?;
         let out = lay.alloc_var()?;
-        Self::build_wired(m, lay, in_a, in_b, out)
+        Self::spec_wired(lay, in_a, in_b, out)
     }
 
-    /// Builds the circuit over existing input/output registers,
+    /// Describes the circuit over existing input/output registers,
     /// allocating private intermediates.
     ///
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build_wired(
-        m: &mut Machine,
+    pub fn spec_wired(lay: &mut Layout, in_a: u64, in_b: u64, out: u64) -> Result<GateSpec<Self>> {
+        let d_and = lay.alloc_var()?;
+        let d_or = lay.alloc_var()?;
+        let d_not = lay.alloc_var()?;
+        let and_or = TsxAndOr::spec_wired(lay, in_a, in_b, d_and, d_or)?;
+        let not = TsxNot::spec_wired(lay, d_and, d_not)?;
+        let and2 = TsxAnd::spec_wired(lay, d_or, d_not, out)?;
+        Ok(and_or
+            .zip(not, |and_or, not| (and_or, not))
+            .zip(and2, |(and_or, not), and2| Self { and_or, not, and2 }))
+    }
+
+    /// Builds and instantiates in one step.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
+        Ok(Self::spec(lay)?.instantiate(s))
+    }
+
+    /// Builds and instantiates over existing input/output registers.
+    ///
+    /// # Errors
+    ///
+    /// Fails on layout exhaustion or assembly error.
+    pub fn build_wired<S: Substrate + ?Sized>(
+        s: &mut S,
         lay: &mut Layout,
         in_a: u64,
         in_b: u64,
         out: u64,
     ) -> Result<Self> {
-        let d_and = lay.alloc_var()?;
-        let d_or = lay.alloc_var()?;
-        let d_not = lay.alloc_var()?;
-        let and_or = TsxAndOr::build_wired(m, lay, in_a, in_b, d_and, d_or)?;
-        let not = TsxNot::build_wired(m, lay, d_and, d_not)?;
-        let and2 = TsxAnd::build_wired(m, lay, d_or, d_not, out)?;
-        Ok(Self { and_or, not, and2 })
+        Ok(Self::spec_wired(lay, in_a, in_b, out)?.instantiate(s))
     }
 
     /// First input register address.
@@ -659,32 +886,37 @@ impl TsxXor {
     }
 
     /// Initializes all outputs and intermediates.
-    pub fn prepare(&self, m: &mut Machine) {
-        self.and_or.prepare(m);
-        self.not.prepare(m);
-        self.and2.prepare(m);
+    pub fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+        self.and_or.prepare(s);
+        self.not.prepare(s);
+        self.and2.prepare(s);
     }
 
     /// Activates the three transactions in dataflow order. All
     /// intermediate values live only in cache state.
-    pub fn activate(&self, m: &mut Machine) {
-        self.and_or.activate(m);
-        self.not.activate(m);
-        self.and2.activate(m);
+    pub fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
+        self.and_or.activate(s);
+        self.not.activate(s);
+        self.and2.activate(s);
     }
 
     /// Full protocol with explicit input bits.
-    pub fn execute(&self, m: &mut Machine, a: bool, b: bool) -> bool {
-        self.execute_reading(m, a, b).bit
+    pub fn execute<S: Substrate + ?Sized>(&self, s: &mut S, a: bool, b: bool) -> bool {
+        self.execute_reading(s, a, b).bit
     }
 
     /// Full protocol, reporting the raw output-read delay.
-    pub fn execute_reading(&self, m: &mut Machine, a: bool, b: bool) -> GateReading {
-        self.prepare(m);
-        set_dc(m, self.and_or.in_a(), a);
-        set_dc(m, self.and_or.in_b(), b);
-        self.activate(m);
-        read_out(m, self.and2.out())
+    pub fn execute_reading<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        a: bool,
+        b: bool,
+    ) -> GateReading {
+        self.prepare(s);
+        set_dc(s, self.and_or.in_a(), a);
+        set_dc(s, self.and_or.in_b(), b);
+        self.activate(s);
+        read_out(s, self.and2.out())
     }
 }
 
@@ -701,9 +933,9 @@ impl WeirdGate for TsxXor {
         inputs[0] ^ inputs[1]
     }
 
-    fn execute_timed(&self, m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+    fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
-        Ok(self.execute_reading(m, inputs[0], inputs[1]))
+        Ok(self.execute_reading(s, inputs[0], inputs[1]))
     }
 }
 
@@ -711,7 +943,8 @@ impl WeirdGate for TsxXor {
 mod tests {
     use super::*;
     use crate::gate::verify_truth_table;
-    use uwm_sim::machine::MachineConfig;
+    use crate::substrate::FlatEmulator;
+    use uwm_sim::machine::{Machine, MachineConfig};
     use uwm_sim::trace::{ArchEvent, Tracer};
 
     fn setup() -> (Machine, Layout) {
@@ -775,6 +1008,30 @@ mod tests {
         }
     }
 
+    /// One spec, two backends: on the simulator the gate computes; on the
+    /// flat emulator the post-fault window does not exist, so the output
+    /// read is hit-like regardless of input — the gate degenerates. This
+    /// asymmetry is the emulation-detection signal of §7.
+    #[test]
+    fn same_spec_instantiates_on_both_backends() {
+        let mut lay = Layout::new(crate::substrate::flat::DEFAULT_ALIAS_STRIDE);
+        let spec = TsxAnd::spec(&mut lay).unwrap();
+
+        let mut m = Machine::new(MachineConfig::quiet(), 0);
+        let g_sim = spec.instantiate(&mut m);
+        assert_eq!(verify_truth_table(&g_sim, &mut m).unwrap(), None);
+
+        let mut f = FlatEmulator::new();
+        let g_flat = spec.instantiate(&mut f);
+        assert_eq!(g_sim, g_flat, "specs bind the same wiring everywhere");
+        for (a, b) in [(false, false), (false, true), (true, false)] {
+            assert!(
+                g_flat.execute(&mut f, a, b),
+                "flat backend always reads hit-like: gate output degenerates to 1"
+            );
+        }
+    }
+
     /// The paper's central claim for TSX gates: the transaction aborts, so
     /// the analyzer sees only `xbegin` + abort; the chain never commits.
     #[test]
@@ -788,12 +1045,17 @@ mod tests {
         g.activate(&mut m);
         let events = m.tracer().events().to_vec();
         // Expect: Commit(xbegin), TxAbort, Commit(halt)+RegWrites only.
-        assert!(events.iter().any(|e| matches!(e, ArchEvent::TxAbort { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ArchEvent::TxAbort { .. })));
         let leaked = events.iter().any(|e| {
             matches!(e, ArchEvent::Commit { inst, .. }
                 if matches!(inst, Inst::Load { .. } | Inst::LoadInd { .. } | Inst::Div { .. }))
         });
-        assert!(!leaked, "chain instructions must not appear in the trace: {events:?}");
+        assert!(
+            !leaked,
+            "chain instructions must not appear in the trace: {events:?}"
+        );
     }
 
     /// Activation traces are identical across all input combinations.

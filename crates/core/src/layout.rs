@@ -58,7 +58,7 @@ impl Layout {
     ///
     /// Panics if `alias_stride` is zero or not line-aligned.
     pub fn new(alias_stride: u64) -> Self {
-        assert!(alias_stride > 0 && alias_stride % LINE_SIZE == 0);
+        assert!(alias_stride > 0 && alias_stride.is_multiple_of(LINE_SIZE));
         Self {
             next_var: DATA_BASE,
             next_gate_code: GATE_CODE_BASE,
@@ -76,7 +76,9 @@ impl Layout {
     /// full.
     pub fn alloc_var(&mut self) -> Result<u64> {
         if self.next_var + LINE_SIZE > DATA_LIMIT {
-            return Err(CoreError::LayoutExhausted { region: "variables" });
+            return Err(CoreError::LayoutExhausted {
+                region: "variables",
+            });
         }
         let at = self.next_var;
         self.next_var += LINE_SIZE;
@@ -93,7 +95,9 @@ impl Layout {
     pub fn alloc_gate_code(&mut self, bytes: u64) -> Result<u64> {
         let rounded = bytes.div_ceil(LINE_SIZE) * LINE_SIZE;
         if self.next_gate_code + rounded > GATE_CODE_BASE + self.alias_stride {
-            return Err(CoreError::LayoutExhausted { region: "gate code" });
+            return Err(CoreError::LayoutExhausted {
+                region: "gate code",
+            });
         }
         let at = self.next_gate_code;
         self.next_gate_code += rounded;
@@ -155,7 +159,9 @@ mod tests {
         assert!(l.alloc_gate_code(256).is_ok());
         assert!(matches!(
             l.alloc_gate_code(64),
-            Err(CoreError::LayoutExhausted { region: "gate code" })
+            Err(CoreError::LayoutExhausted {
+                region: "gate code"
+            })
         ));
     }
 

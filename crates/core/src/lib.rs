@@ -12,7 +12,13 @@
 //!   intermediate values never exist architecturally (§4);
 //! * [`skelly`] — the reliability/ergonomics framework of §6.2: layout
 //!   management, threshold calibration, median-and-vote redundancy, and
-//!   32-bit logic including the full adder used by the SHA-1 demo.
+//!   32-bit logic including the full adder used by the SHA-1 demo;
+//! * [`substrate`] — the **execution backend abstraction**: gates are built
+//!   as machine-independent specs ([`gate::GateSpec`]) and bound to any
+//!   [`substrate::Substrate`] — the full [`uwm_sim`] machine or the flat
+//!   (no-MA) emulator used by the §7 emulation detector;
+//! * [`exec`] — a sharded executor that fans deterministic trial batches
+//!   across OS threads and merges results in batch order.
 //!
 //! ## Quick start
 //!
@@ -32,21 +38,25 @@
 
 pub mod circuit;
 pub mod error;
+pub mod exec;
 pub mod gate;
 pub mod layout;
 pub mod reg;
 pub mod skelly;
+pub mod substrate;
 
 pub use error::{CoreError, Result};
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::circuit::{Circuit, CircuitBuilder, Wire};
+    pub use crate::circuit::{Circuit, CircuitBuilder, CircuitSpec, Wire};
     pub use crate::error::{CoreError, Result};
+    pub use crate::exec::ShardedExecutor;
     pub use crate::gate::bp::{BpAnd, BpAndAndOr, BpNand, BpOr};
     pub use crate::gate::tsx::{TsxAnd, TsxAndOr, TsxAssign, TsxNot, TsxOr, TsxXor};
-    pub use crate::gate::{GateReading, WeirdGate};
+    pub use crate::gate::{GateReading, GateSpec, ProgramUnit, WeirdGate};
     pub use crate::layout::Layout;
     pub use crate::reg::{BpWr, BtbWr, DcWr, IcWr, MulWr, RobWr, VmxWr, WeirdRegister};
-    pub use crate::skelly::{Redundancy, Skelly};
+    pub use crate::skelly::{Redundancy, Skelly, SkellySpec};
+    pub use crate::substrate::{FlatEmulator, Substrate};
 }

@@ -3,8 +3,8 @@
 use crate::error::Result;
 use crate::layout::Layout;
 use crate::reg::WeirdRegister;
+use crate::substrate::Substrate;
 use uwm_sim::isa::{Assembler, Inst};
-use uwm_sim::machine::Machine;
 
 /// Branch-direction-predictor weird register (Table 1, BranchScope-style).
 ///
@@ -26,16 +26,19 @@ impl BpWr {
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let cond = lay.alloc_var()?;
         let branch_pc = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(branch_pc);
         // Taken target == fall-through: both land on the Halt; only the
         // predictor outcome differs.
-        a.push(Inst::Brz { cond_addr: cond as u32, rel: 0 });
+        a.push(Inst::Brz {
+            cond_addr: cond as u32,
+            rel: 0,
+        });
         a.push(Inst::Halt);
-        m.add_program(a.finish()?);
-        m.warm_code_range(branch_pc, branch_pc + 16);
+        s.install_program(a.finish()?);
+        s.warm_code_range(branch_pc, branch_pc + 16);
         Ok(Self {
             branch_pc,
             cond,
@@ -49,29 +52,29 @@ impl BpWr {
         self.branch_pc
     }
 
-    fn run_branch(&self, m: &mut Machine, cond_value: u64) {
-        m.mem_mut().write_u64(self.cond, cond_value);
-        m.timed_read(self.cond); // keep resolution fast: warm condition
-        m.run_at(self.branch_pc);
+    fn run_branch<S: Substrate + ?Sized>(&self, s: &mut S, cond_value: u64) {
+        s.write_word(self.cond, cond_value);
+        s.timed_read(self.cond); // keep resolution fast: warm condition
+        s.run_at(self.branch_pc);
     }
 }
 
 impl WeirdRegister for BpWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         // bit=1 → train not-taken (condition non-zero); bit=0 → taken.
         let v = if bit { 1 } else { 0 };
         for _ in 0..self.train_iters {
-            self.run_branch(m, v);
+            self.run_branch(s, v);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
+    fn read(&self, s: &mut dyn Substrate) -> bool {
         // Execute not-taken and time it: fast ⇒ predictor agreed ⇒ bit 1.
-        m.mem_mut().write_u64(self.cond, 1);
-        m.timed_read(self.cond);
-        let before = m.cycles();
-        m.run_at(self.branch_pc);
-        let delay = m.cycles() - before;
+        s.write_word(self.cond, 1);
+        s.timed_read(self.cond);
+        let before = s.cycles();
+        s.run_at(self.branch_pc);
+        let delay = s.cycles() - before;
         delay < self.threshold
     }
 
@@ -103,17 +106,17 @@ impl BtbWr {
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let jmp_pc = lay.alloc_app_code(64)?;
         let target_b = lay.alloc_app_code(64)?;
         let target_c = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(jmp_pc);
         a.push(Inst::JmpInd { base: TARGET_REG });
-        m.add_program(a.finish()?);
+        s.install_program(a.finish()?);
         for t in [target_b, target_c] {
             let mut a = Assembler::new(t);
             a.push(Inst::Halt);
-            m.add_program(a.finish()?);
+            s.install_program(a.finish()?);
         }
         Ok(Self {
             jmp_pc,
@@ -123,26 +126,26 @@ impl BtbWr {
         })
     }
 
-    fn jump_to(&self, m: &mut Machine, target: u64) -> u64 {
-        m.set_reg(TARGET_REG, target);
-        m.touch_code(self.jmp_pc); // isolate the BTB effect from I-cache state
-        m.touch_code(target);
-        let before = m.cycles();
-        m.run_at(self.jmp_pc);
-        m.cycles() - before
+    fn jump_to<S: Substrate + ?Sized>(&self, s: &mut S, target: u64) -> u64 {
+        s.set_reg(TARGET_REG, target);
+        s.touch_code(self.jmp_pc); // isolate the BTB effect from I-cache state
+        s.touch_code(target);
+        let before = s.cycles();
+        s.run_at(self.jmp_pc);
+        s.cycles() - before
     }
 }
 
 impl WeirdRegister for BtbWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         let target = if bit { self.target_c } else { self.target_b };
-        self.jump_to(m, target);
+        self.jump_to(s, target);
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
+    fn read(&self, s: &mut dyn Substrate) -> bool {
         // Jump to B: fast ⇒ BTB held B ⇒ bit 0; slow ⇒ held C ⇒ bit 1.
-        let delay = self.jump_to(m, self.target_b);
-        delay >= self.threshold + 2 * m.latency().l1 + m.latency().alu
+        let delay = self.jump_to(s, self.target_b);
+        delay >= self.threshold + 2 * s.latency().l1 + s.latency().alu
     }
 
     fn name(&self) -> &'static str {
@@ -153,7 +156,7 @@ impl WeirdRegister for BtbWr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uwm_sim::machine::MachineConfig;
+    use uwm_sim::machine::{Machine, MachineConfig};
 
     fn setup() -> (Machine, Layout) {
         let m = Machine::new(MachineConfig::quiet(), 0);

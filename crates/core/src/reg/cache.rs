@@ -3,8 +3,8 @@
 use crate::error::Result;
 use crate::layout::Layout;
 use crate::reg::{delay_to_bit, WeirdRegister};
+use crate::substrate::Substrate;
 use uwm_sim::isa::{Assembler, Inst};
-use uwm_sim::machine::Machine;
 
 /// Default hit/miss decision threshold in cycles. Roughly midway between
 /// an L1 hit and a DRAM miss; [`crate::skelly::calibrate_threshold`]
@@ -27,7 +27,7 @@ impl DcWr {
     /// # Errors
     ///
     /// Fails when the variable region is exhausted.
-    pub fn build(_m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(_s: &mut S, lay: &mut Layout) -> Result<Self> {
         Ok(Self::at(lay.alloc_var()?, DEFAULT_THRESHOLD))
     }
 
@@ -42,22 +42,22 @@ impl DcWr {
     }
 
     /// Raw timed-read delay (the Figure 7/8 measurement primitive).
-    pub fn read_delay(&self, m: &mut Machine) -> u64 {
-        m.timed_read(self.addr)
+    pub fn read_delay<S: Substrate + ?Sized>(&self, s: &mut S) -> u64 {
+        s.timed_read(self.addr)
     }
 }
 
 impl WeirdRegister for DcWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         if bit {
-            m.timed_read(self.addr);
+            s.timed_read(self.addr);
         } else {
-            m.flush_addr(self.addr);
+            s.flush_addr(self.addr);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
-        delay_to_bit(self.read_delay(m), self.threshold)
+    fn read(&self, s: &mut dyn Substrate) -> bool {
+        delay_to_bit(self.read_delay(s), self.threshold)
     }
 
     fn name(&self) -> &'static str {
@@ -82,11 +82,11 @@ impl IcWr {
     /// # Errors
     ///
     /// Fails if layout space is exhausted or assembly fails.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let code_addr = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(code_addr);
         a.push(Inst::Halt); // `call code` lands here and returns immediately
-        m.add_program(a.finish()?);
+        s.install_program(a.finish()?);
         Ok(Self {
             code_addr,
             threshold: DEFAULT_THRESHOLD,
@@ -95,7 +95,10 @@ impl IcWr {
 
     /// Wraps an existing code line.
     pub fn at(code_addr: u64, threshold: u64) -> Self {
-        Self { code_addr, threshold }
+        Self {
+            code_addr,
+            threshold,
+        }
     }
 
     /// Address of the code line carrying the bit.
@@ -104,24 +107,24 @@ impl IcWr {
     }
 
     /// Raw timed code-fetch delay.
-    pub fn read_delay(&self, m: &mut Machine) -> u64 {
-        let before = m.cycles();
-        m.touch_code(self.code_addr);
-        m.cycles() - before
+    pub fn read_delay<S: Substrate + ?Sized>(&self, s: &mut S) -> u64 {
+        let before = s.cycles();
+        s.touch_code(self.code_addr);
+        s.cycles() - before
     }
 }
 
 impl WeirdRegister for IcWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         if bit {
-            m.touch_code(self.code_addr);
+            s.touch_code(self.code_addr);
         } else {
-            m.flush_addr(self.code_addr);
+            s.flush_addr(self.code_addr);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
-        delay_to_bit(self.read_delay(m), self.threshold)
+    fn read(&self, s: &mut dyn Substrate) -> bool {
+        delay_to_bit(self.read_delay(s), self.threshold)
     }
 
     fn name(&self) -> &'static str {
@@ -132,7 +135,7 @@ impl WeirdRegister for IcWr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uwm_sim::machine::MachineConfig;
+    use uwm_sim::machine::{Machine, MachineConfig};
 
     fn setup() -> (Machine, Layout) {
         let m = Machine::new(MachineConfig::quiet(), 0);

@@ -7,8 +7,8 @@
 use crate::error::Result;
 use crate::layout::Layout;
 use crate::reg::WeirdRegister;
+use crate::substrate::Substrate;
 use uwm_sim::isa::{Assembler, Inst, Operand};
-use uwm_sim::machine::Machine;
 
 /// Multiplier-port contention weird register.
 ///
@@ -31,23 +31,31 @@ impl MulWr {
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let burst_pc = lay.alloc_app_code((MUL_BURST as u64 + 1) * 8)?;
         let mut a = Assembler::new(burst_pc);
         for _ in 0..MUL_BURST {
-            a.push(Inst::Mul { dst: 1, a: 1, b: Operand::Imm(3) });
+            a.push(Inst::Mul {
+                dst: 1,
+                a: 1,
+                b: Operand::Imm(3),
+            });
         }
         a.push(Inst::Halt);
         let burst_end = a.pc();
-        m.add_program(a.finish()?);
-        m.warm_code_range(burst_pc, burst_end);
+        s.install_program(a.finish()?);
+        s.warm_code_range(burst_pc, burst_end);
 
         let probe_pc = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(probe_pc);
-        a.push(Inst::Mul { dst: 2, a: 2, b: Operand::Imm(3) });
+        a.push(Inst::Mul {
+            dst: 2,
+            a: 2,
+            b: Operand::Imm(3),
+        });
         a.push(Inst::Halt);
-        m.add_program(a.finish()?);
-        m.warm_code_range(probe_pc, probe_pc + 16);
+        s.install_program(a.finish()?);
+        s.warm_code_range(probe_pc, probe_pc + 16);
 
         Ok(Self {
             burst_pc,
@@ -58,20 +66,20 @@ impl MulWr {
 }
 
 impl WeirdRegister for MulWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         if bit {
-            m.run_at(self.burst_pc);
+            s.run_at(self.burst_pc);
         } else {
             // "Execute nops": give the pipeline time to drain.
-            m.idle(uwm_sim::contention::MUL_QUEUE_CAP);
+            s.idle(uwm_sim::contention::MUL_QUEUE_CAP);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
-        m.touch_code(self.probe_pc); // isolate contention from I-cache state
-        let before = m.cycles();
-        m.run_at(self.probe_pc);
-        m.cycles() - before >= self.threshold
+    fn read(&self, s: &mut dyn Substrate) -> bool {
+        s.touch_code(self.probe_pc); // isolate contention from I-cache state
+        let before = s.cycles();
+        s.run_at(self.probe_pc);
+        s.cycles() - before >= self.threshold
     }
 
     fn name(&self) -> &'static str {
@@ -102,7 +110,7 @@ impl RobWr {
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let targets = lay.alloc_var()?;
         for _ in 1..ROB_BURST {
             lay.alloc_var()?; // reserve the rest of the line run
@@ -110,19 +118,22 @@ impl RobWr {
         let burst_pc = lay.alloc_app_code((ROB_BURST as u64 + 1) * 8)?;
         let mut a = Assembler::new(burst_pc);
         for i in 0..ROB_BURST {
-            a.push(Inst::Load { dst: 1, addr: (targets + i as u64 * 64) as u32 });
+            a.push(Inst::Load {
+                dst: 1,
+                addr: (targets + i as u64 * 64) as u32,
+            });
         }
         a.push(Inst::Halt);
         let burst_end = a.pc();
-        m.add_program(a.finish()?);
-        m.warm_code_range(burst_pc, burst_end);
+        s.install_program(a.finish()?);
+        s.warm_code_range(burst_pc, burst_end);
 
         let probe_pc = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(probe_pc);
         a.push(Inst::Fence);
         a.push(Inst::Halt);
-        m.add_program(a.finish()?);
-        m.warm_code_range(probe_pc, probe_pc + 16);
+        s.install_program(a.finish()?);
+        s.warm_code_range(probe_pc, probe_pc + 16);
 
         Ok(Self {
             burst_pc,
@@ -134,24 +145,24 @@ impl RobWr {
 }
 
 impl WeirdRegister for RobWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         if bit {
             // Ensure the loads actually miss: flush the targets first.
             for i in 0..ROB_BURST as u64 {
-                m.flush_addr(self.targets + i * 64);
+                s.flush_addr(self.targets + i * 64);
             }
-            m.run_at(self.burst_pc);
+            s.run_at(self.burst_pc);
         } else {
             // Long enough for the deepest burst to drain completely.
-            m.idle(20_000);
+            s.idle(20_000);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
-        m.touch_code(self.probe_pc);
-        let before = m.cycles();
-        m.run_at(self.probe_pc);
-        m.cycles() - before >= self.threshold
+    fn read(&self, s: &mut dyn Substrate) -> bool {
+        s.touch_code(self.probe_pc);
+        let before = s.cycles();
+        s.run_at(self.probe_pc);
+        s.cycles() - before >= self.threshold
     }
 
     fn name(&self) -> &'static str {
@@ -175,13 +186,13 @@ impl VmxWr {
     /// # Errors
     ///
     /// Fails on layout exhaustion or assembly error.
-    pub fn build(m: &mut Machine, lay: &mut Layout) -> Result<Self> {
+    pub fn build<S: Substrate + ?Sized>(s: &mut S, lay: &mut Layout) -> Result<Self> {
         let probe_pc = lay.alloc_app_code(64)?;
         let mut a = Assembler::new(probe_pc);
         a.push(Inst::Vmx);
         a.push(Inst::Halt);
-        m.add_program(a.finish()?);
-        m.warm_code_range(probe_pc, probe_pc + 16);
+        s.install_program(a.finish()?);
+        s.warm_code_range(probe_pc, probe_pc + 16);
         Ok(Self {
             probe_pc,
             threshold: 200,
@@ -190,20 +201,20 @@ impl VmxWr {
 }
 
 impl WeirdRegister for VmxWr {
-    fn write(&self, m: &mut Machine, bit: bool) {
+    fn write(&self, s: &mut dyn Substrate, bit: bool) {
         if bit {
-            m.run_at(self.probe_pc);
+            s.run_at(self.probe_pc);
         } else {
-            m.idle(uwm_sim::contention::VMX_WARM_WINDOW + 1);
+            s.idle(uwm_sim::contention::VMX_WARM_WINDOW + 1);
         }
     }
 
-    fn read(&self, m: &mut Machine) -> bool {
-        m.touch_code(self.probe_pc);
-        let before = m.cycles();
-        m.run_at(self.probe_pc);
+    fn read(&self, s: &mut dyn Substrate) -> bool {
+        s.touch_code(self.probe_pc);
+        let before = s.cycles();
+        s.run_at(self.probe_pc);
         // Warm = fast = bit 1.
-        m.cycles() - before < self.threshold
+        s.cycles() - before < self.threshold
     }
 
     fn name(&self) -> &'static str {
@@ -214,7 +225,7 @@ impl WeirdRegister for VmxWr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uwm_sim::machine::MachineConfig;
+    use uwm_sim::machine::{Machine, MachineConfig};
 
     fn setup() -> (Machine, Layout) {
         let m = Machine::new(MachineConfig::quiet(), 0);

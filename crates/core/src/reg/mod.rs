@@ -14,12 +14,14 @@ pub use branch::{BpWr, BtbWr};
 pub use cache::{DcWr, IcWr};
 pub use contention::{MulWr, RobWr, VmxWr};
 
-use uwm_sim::machine::Machine;
+use crate::substrate::Substrate;
 
 /// A one-bit storage entity encoded in microarchitectural state.
 ///
 /// Implementations differ in which MA resource they use, how volatile the
 /// stored value is, and how invasive a read is — see the paper's Table 1.
+/// Registers are backend-agnostic: they run against any
+/// [`Substrate`] (`&mut Machine` coerces at every call site).
 ///
 /// # Examples
 ///
@@ -38,12 +40,12 @@ use uwm_sim::machine::Machine;
 /// ```
 pub trait WeirdRegister {
     /// Stores `bit` into the MA resource.
-    fn write(&self, m: &mut Machine, bit: bool);
+    fn write(&self, s: &mut dyn Substrate, bit: bool);
 
     /// Recovers the stored bit by timing an operation. **Invasive**: the
     /// read itself changes MA state (usually toward `1` for cache-residency
     /// registers).
-    fn read(&self, m: &mut Machine) -> bool;
+    fn read(&self, s: &mut dyn Substrate) -> bool;
 
     /// Short human-readable name ("dc", "ic", "bp", …).
     fn name(&self) -> &'static str;
@@ -59,7 +61,7 @@ pub fn delay_to_bit(delay: u64, threshold: u64) -> bool {
 mod tests {
     use super::*;
     use crate::layout::Layout;
-    use uwm_sim::machine::MachineConfig;
+    use uwm_sim::machine::{Machine, MachineConfig};
 
     /// All seven WR types satisfy the round-trip contract under quiet noise.
     #[test]

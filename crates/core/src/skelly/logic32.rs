@@ -42,8 +42,12 @@ impl Skelly {
     pub fn and_and_or32(&mut self, a: u32, b: u32, c: u32, d: u32) -> u32 {
         let mut out = 0u32;
         for i in 0..32 {
-            if self.and_and_or(a >> i & 1 == 1, b >> i & 1 == 1, c >> i & 1 == 1, d >> i & 1 == 1)
-            {
+            if self.and_and_or(
+                a >> i & 1 == 1,
+                b >> i & 1 == 1,
+                c >> i & 1 == 1,
+                d >> i & 1 == 1,
+            ) {
                 out |= 1 << i;
             }
         }
@@ -142,8 +146,8 @@ mod tests {
         let cases = [
             (0u32, 0u32),
             (1, 1),
-            (0xFFFF_FFFF, 1),          // full wraparound
-            (0x7FFF_FFFF, 1),          // carry into the sign bit
+            (0xFFFF_FFFF, 1), // full wraparound
+            (0x7FFF_FFFF, 1), // carry into the sign bit
             (0xFFFF_0000, 0x0001_0000),
             (0x89AB_CDEF, 0x7654_3210),
         ];

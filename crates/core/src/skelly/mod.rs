@@ -15,27 +15,153 @@ pub use redundancy::{CounterBank, GateCounters, Redundancy};
 use crate::error::Result;
 use crate::gate::bp::{BpAnd, BpAndAndOr, BpNand, BpOr};
 use crate::gate::tsx::{TsxAnd, TsxAndOr, TsxAssign, TsxNot, TsxOr, TsxXor};
-use crate::gate::{GateReading, WeirdGate};
+use crate::gate::{GateReading, GateSpec, WeirdGate};
 use crate::layout::Layout;
+use crate::substrate::flat::DEFAULT_ALIAS_STRIDE;
+use crate::substrate::Substrate;
 use uwm_sim::machine::{Machine, MachineConfig};
 
-/// Calibrates the hit/miss decision threshold on `m` by sampling timed
+/// Calibrates the hit/miss decision threshold on `s` by sampling timed
 /// misses and hits of a scratch line and returning the midpoint of the
 /// medians — the boundary visible in the paper's Figures 7–8.
-pub fn calibrate_threshold(m: &mut Machine, probe: u64, samples: usize) -> u64 {
+pub fn calibrate_threshold<S: Substrate + ?Sized>(s: &mut S, probe: u64, samples: usize) -> u64 {
     assert!(samples > 0, "need at least one sample");
     let mut misses = Vec::with_capacity(samples);
     let mut hits = Vec::with_capacity(samples);
     for _ in 0..samples {
-        m.flush_addr(probe);
-        misses.push(m.timed_read_tsc(probe));
-        hits.push(m.timed_read_tsc(probe));
+        s.flush_addr(probe);
+        misses.push(s.timed_read_tsc(probe));
+        hits.push(s.timed_read_tsc(probe));
     }
     misses.sort_unstable();
     hits.sort_unstable();
     let miss_med = misses[misses.len() / 2];
     let hit_med = hits[hits.len() / 2];
     hit_med + (miss_med.saturating_sub(hit_med)) / 2
+}
+
+/// The machine-independent half of a [`Skelly`]: one [`GateSpec`] per gate,
+/// built against a shared [`Layout`] in a fixed order, plus the calibration
+/// probe address.
+///
+/// A spec is built **once** and instantiated many times — on every shard of
+/// a [`crate::exec::ShardedExecutor`], or on freshly seeded machines for
+/// repeatability studies. Instantiation replays the gates' program installs
+/// and code warming in build order, so every instance sees the identical
+/// machine-visible construction sequence.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_core::skelly::SkellySpec;
+/// use uwm_sim::machine::MachineConfig;
+///
+/// let spec = SkellySpec::new().unwrap();
+/// let mut a = spec.instantiate(MachineConfig::quiet(), 1);
+/// let mut b = spec.instantiate(MachineConfig::quiet(), 2);
+/// assert!(a.and(true, true) && b.and(true, true));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SkellySpec {
+    lay: Layout,
+    probe: u64,
+    bp_and: GateSpec<BpAnd>,
+    bp_or: GateSpec<BpOr>,
+    bp_nand: GateSpec<BpNand>,
+    bp_aao: GateSpec<BpAndAndOr>,
+    tsx_assign: GateSpec<TsxAssign>,
+    tsx_and: GateSpec<TsxAnd>,
+    tsx_or: GateSpec<TsxOr>,
+    tsx_and_or: GateSpec<TsxAndOr>,
+    tsx_not: GateSpec<TsxNot>,
+    tsx_xor: GateSpec<TsxXor>,
+}
+
+impl SkellySpec {
+    /// Builds every gate spec against a fresh layout with the standard
+    /// branch-alias stride.
+    ///
+    /// # Errors
+    ///
+    /// Fails if gate construction exhausts the layout or assembly fails.
+    pub fn new() -> Result<Self> {
+        Self::with_alias_stride(DEFAULT_ALIAS_STRIDE)
+    }
+
+    /// Like [`SkellySpec::new`] with an explicit branch-alias stride (must
+    /// match the target machines' predictor).
+    ///
+    /// # Errors
+    ///
+    /// Fails if gate construction exhausts the layout or assembly fails.
+    pub fn with_alias_stride(alias_stride: u64) -> Result<Self> {
+        let mut lay = Layout::new(alias_stride);
+        let bp_and = BpAnd::spec(&mut lay)?;
+        let bp_or = BpOr::spec(&mut lay)?;
+        let bp_nand = BpNand::spec(&mut lay)?;
+        let bp_aao = BpAndAndOr::spec(&mut lay)?;
+        let tsx_assign = TsxAssign::spec(&mut lay)?;
+        let tsx_and = TsxAnd::spec(&mut lay)?;
+        let tsx_or = TsxOr::spec(&mut lay)?;
+        let tsx_and_or = TsxAndOr::spec(&mut lay)?;
+        let tsx_not = TsxNot::spec(&mut lay)?;
+        let tsx_xor = TsxXor::spec(&mut lay)?;
+        let probe = lay.alloc_var()?;
+        Ok(Self {
+            lay,
+            probe,
+            bp_and,
+            bp_or,
+            bp_nand,
+            bp_aao,
+            tsx_assign,
+            tsx_and,
+            tsx_or,
+            tsx_and_or,
+            tsx_not,
+            tsx_xor,
+        })
+    }
+
+    /// Binds the spec to a freshly constructed machine: installs and warms
+    /// every gate program in build order, calibrates the timing threshold,
+    /// and returns the runnable framework.
+    pub fn instantiate(&self, cfg: MachineConfig, seed: u64) -> Skelly {
+        let mut m = Machine::new(cfg, seed);
+        debug_assert_eq!(
+            m.predictor().alias_stride(),
+            self.lay.alias_stride(),
+            "spec stride must match the machine's predictor"
+        );
+        let bp_and = self.bp_and.instantiate(&mut m);
+        let bp_or = self.bp_or.instantiate(&mut m);
+        let bp_nand = self.bp_nand.instantiate(&mut m);
+        let bp_aao = self.bp_aao.instantiate(&mut m);
+        let tsx_assign = self.tsx_assign.instantiate(&mut m);
+        let tsx_and = self.tsx_and.instantiate(&mut m);
+        let tsx_or = self.tsx_or.instantiate(&mut m);
+        let tsx_and_or = self.tsx_and_or.instantiate(&mut m);
+        let tsx_not = self.tsx_not.instantiate(&mut m);
+        let tsx_xor = self.tsx_xor.instantiate(&mut m);
+        let threshold = calibrate_threshold(&mut m, self.probe, 33);
+        Skelly {
+            m,
+            lay: self.lay.clone(),
+            threshold,
+            red: Redundancy::default(),
+            counters: CounterBank::new(),
+            bp_and,
+            bp_or,
+            bp_nand,
+            bp_aao,
+            tsx_assign,
+            tsx_and,
+            tsx_or,
+            tsx_and_or,
+            tsx_not,
+            tsx_xor,
+        }
+    }
 }
 
 /// One pre-built instance of every weird gate, plus the machinery to run
@@ -71,44 +197,18 @@ pub struct Skelly {
 
 impl Skelly {
     /// Builds the framework on a machine with the given configuration and
-    /// noise seed: allocates the layout, assembles one instance of every
-    /// gate, and calibrates the timing threshold.
+    /// noise seed: builds a [`SkellySpec`] (layout allocation and gate
+    /// assembly, machine-free) and instantiates it once.
+    ///
+    /// To build many instances — one per executor shard — build the spec
+    /// once with [`SkellySpec::new`] and call
+    /// [`SkellySpec::instantiate`] per shard instead.
     ///
     /// # Errors
     ///
     /// Fails if gate construction exhausts the layout or assembly fails.
     pub fn new(cfg: MachineConfig, seed: u64) -> Result<Self> {
-        let mut m = Machine::new(cfg, seed);
-        let mut lay = Layout::new(m.predictor().alias_stride());
-        let bp_and = BpAnd::build(&mut m, &mut lay)?;
-        let bp_or = BpOr::build(&mut m, &mut lay)?;
-        let bp_nand = BpNand::build(&mut m, &mut lay)?;
-        let bp_aao = BpAndAndOr::build(&mut m, &mut lay)?;
-        let tsx_assign = TsxAssign::build(&mut m, &mut lay)?;
-        let tsx_and = TsxAnd::build(&mut m, &mut lay)?;
-        let tsx_or = TsxOr::build(&mut m, &mut lay)?;
-        let tsx_and_or = TsxAndOr::build(&mut m, &mut lay)?;
-        let tsx_not = TsxNot::build(&mut m, &mut lay)?;
-        let tsx_xor = TsxXor::build(&mut m, &mut lay)?;
-        let probe = lay.alloc_var()?;
-        let threshold = calibrate_threshold(&mut m, probe, 33);
-        Ok(Self {
-            m,
-            lay,
-            threshold,
-            red: Redundancy::default(),
-            counters: CounterBank::new(),
-            bp_and,
-            bp_or,
-            bp_nand,
-            bp_aao,
-            tsx_assign,
-            tsx_and,
-            tsx_or,
-            tsx_and_or,
-            tsx_not,
-            tsx_xor,
-        })
+        Ok(SkellySpec::new()?.instantiate(cfg, seed))
     }
 
     /// A noise-free instance (deterministic; handy in tests and docs).
@@ -413,11 +513,50 @@ mod tests {
     }
 
     #[test]
+    fn one_spec_yields_identical_instances_per_seed() {
+        let spec = SkellySpec::new().unwrap();
+        let mut a = spec.instantiate(MachineConfig::default(), 9);
+        let mut b = spec.instantiate(MachineConfig::default(), 9);
+        assert_eq!(a.threshold(), b.threshold());
+        for name in ["AND", "TSX_AND", "TSX_XOR"] {
+            for bits in 0..4u32 {
+                let inputs = vec![bits & 1 == 1, bits >> 1 & 1 == 1];
+                let ra = a.execute_named(name, &inputs).unwrap();
+                let rb = b.execute_named(name, &inputs).unwrap();
+                assert_eq!(ra, rb, "gate {name}, inputs {inputs:?}");
+            }
+        }
+        assert_eq!(a.machine().cycles(), b.machine().cycles());
+    }
+
+    #[test]
+    fn spec_matches_direct_construction() {
+        let mut direct = Skelly::quiet(11).unwrap();
+        let mut via_spec = SkellySpec::new()
+            .unwrap()
+            .instantiate(MachineConfig::quiet(), 11);
+        assert_eq!(direct.threshold(), via_spec.threshold());
+        let rd = direct.execute_named("TSX_AND_OR", &[true, false]).unwrap();
+        let rs = via_spec
+            .execute_named("TSX_AND_OR", &[true, false])
+            .unwrap();
+        assert_eq!(rd, rs);
+    }
+
+    #[test]
     fn execute_named_covers_all_gates() {
         let mut sk = Skelly::quiet(5).unwrap();
         for name in [
-            "AND", "OR", "NAND", "AND_AND_OR", "TSX_ASSIGN", "TSX_AND", "TSX_OR", "TSX_AND_OR",
-            "TSX_NOT", "TSX_XOR",
+            "AND",
+            "OR",
+            "NAND",
+            "AND_AND_OR",
+            "TSX_ASSIGN",
+            "TSX_AND",
+            "TSX_OR",
+            "TSX_AND_OR",
+            "TSX_NOT",
+            "TSX_XOR",
         ] {
             let arity = sk.arity_named(name);
             let inputs = vec![true; arity];

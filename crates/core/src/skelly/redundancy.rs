@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use crate::error::Result;
 use crate::gate::WeirdGate;
-use uwm_sim::machine::Machine;
+use crate::substrate::Substrate;
 
 /// Redundancy parameters for voted gate execution.
 ///
@@ -35,7 +35,11 @@ pub struct Redundancy {
 impl Default for Redundancy {
     /// No redundancy: one raw execution per logical gate.
     fn default() -> Self {
-        Self { samples: 1, votes: 1, k: 1 }
+        Self {
+            samples: 1,
+            votes: 1,
+            k: 1,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ impl Redundancy {
     /// The conservative parameters of the paper's SHA-1 experiments
     /// (`s = 10, k = 3, n = 5`).
     pub fn paper() -> Self {
-        Self { samples: 10, votes: 5, k: 3 }
+        Self {
+            samples: 10,
+            votes: 5,
+            k: 3,
+        }
     }
 
     /// Raw gate executions per logical operation.
@@ -64,11 +72,14 @@ impl Redundancy {
     pub fn vote(
         &self,
         gate: &dyn WeirdGate,
-        m: &mut Machine,
+        s: &mut dyn Substrate,
         inputs: &[bool],
         bank: &mut CounterBank,
     ) -> Result<bool> {
-        assert!(self.samples > 0 && self.votes > 0, "redundancy must be positive");
+        assert!(
+            self.samples > 0 && self.votes > 0,
+            "redundancy must be positive"
+        );
         assert!(self.k > 0 && self.k <= self.votes, "need 0 < k <= votes");
         let expected = gate.truth(inputs);
         let counters = bank.entry(gate.name());
@@ -78,7 +89,7 @@ impl Redundancy {
             delays.clear();
             let mut raw_bit_any = false;
             for _ in 0..self.samples {
-                let r = gate.execute_timed(m, inputs)?;
+                let r = gate.execute_timed(s, inputs)?;
                 counters.raw_total += 1;
                 if r.bit == expected {
                     counters.raw_correct += 1;
@@ -126,6 +137,16 @@ pub struct GateCounters {
 }
 
 impl GateCounters {
+    /// Adds another counter set into this one (shard merging).
+    pub fn merge(&mut self, other: &GateCounters) {
+        self.raw_total += other.raw_total;
+        self.raw_correct += other.raw_correct;
+        self.medians_total += other.medians_total;
+        self.medians_correct += other.medians_correct;
+        self.votes_total += other.votes_total;
+        self.votes_correct += other.votes_correct;
+    }
+
     /// Fraction of medians that were correct (1.0 when none were taken).
     pub fn median_accuracy(&self) -> f64 {
         if self.medians_total == 0 {
@@ -172,6 +193,14 @@ impl CounterBank {
         self.counters.iter().map(|(&k, v)| (k, v))
     }
 
+    /// Merges another bank into this one, gate by gate — the deterministic
+    /// reduction step after a [`crate::exec::ShardedExecutor`] run.
+    pub fn merge(&mut self, other: &CounterBank) {
+        for (name, c) in other.iter() {
+            self.entry(name).merge(c);
+        }
+    }
+
     /// Drops all statistics.
     pub fn clear(&mut self) {
         self.counters.clear();
@@ -182,6 +211,7 @@ impl CounterBank {
 mod tests {
     use super::*;
     use crate::gate::GateReading;
+    use uwm_sim::machine::Machine;
 
     /// A fake gate with a programmable error pattern.
     #[derive(Debug)]
@@ -200,10 +230,10 @@ mod tests {
         fn truth(&self, inputs: &[bool]) -> bool {
             inputs[0]
         }
-        fn execute_timed(&self, _m: &mut Machine, inputs: &[bool]) -> Result<GateReading> {
+        fn execute_timed(&self, _s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
             let n = self.calls.get();
             self.calls.set(n + 1);
-            let fail = self.fail_every != 0 && n % self.fail_every == 0;
+            let fail = self.fail_every != 0 && n.is_multiple_of(self.fail_every);
             let bit = inputs[0] ^ fail;
             Ok(GateReading {
                 bit,
@@ -218,7 +248,10 @@ mod tests {
 
     #[test]
     fn voting_corrects_sporadic_errors() {
-        let gate = FlakyGate { fail_every: 7, calls: 0.into() };
+        let gate = FlakyGate {
+            fail_every: 7,
+            calls: 0.into(),
+        };
         let red = Redundancy::paper();
         let mut bank = CounterBank::new();
         let mut m = machine();
@@ -235,7 +268,10 @@ mod tests {
 
     #[test]
     fn no_redundancy_passes_raw_bits_through() {
-        let gate = FlakyGate { fail_every: 2, calls: 0.into() };
+        let gate = FlakyGate {
+            fail_every: 2,
+            calls: 0.into(),
+        };
         let red = Redundancy::default();
         let mut bank = CounterBank::new();
         let mut m = machine();
@@ -251,8 +287,15 @@ mod tests {
     #[test]
     fn k_threshold_is_respected() {
         // With k = votes, a single 0-vote forces output 0.
-        let gate = FlakyGate { fail_every: 5, calls: 0.into() };
-        let red = Redundancy { samples: 1, votes: 5, k: 5 };
+        let gate = FlakyGate {
+            fail_every: 5,
+            calls: 0.into(),
+        };
+        let red = Redundancy {
+            samples: 1,
+            votes: 5,
+            k: 5,
+        };
         let mut bank = CounterBank::new();
         let mut m = machine();
         let out = red.vote(&gate, &mut m, &[true], &mut bank).unwrap();
@@ -262,8 +305,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "k <= votes")]
     fn invalid_k_panics() {
-        let gate = FlakyGate { fail_every: 0, calls: 0.into() };
-        let red = Redundancy { samples: 1, votes: 3, k: 4 };
+        let gate = FlakyGate {
+            fail_every: 0,
+            calls: 0.into(),
+        };
+        let red = Redundancy {
+            samples: 1,
+            votes: 3,
+            k: 4,
+        };
         let mut m = machine();
         let _ = red.vote(&gate, &mut m, &[true], &mut CounterBank::new());
     }

@@ -6,7 +6,13 @@
 //! obfuscation scheme the paper extends.
 
 /// Initial hash state (FIPS 180-1 §7).
-pub const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+pub const H0: [u32; 5] = [
+    0x6745_2301,
+    0xEFCD_AB89,
+    0x98BA_DCFE,
+    0x1032_5476,
+    0xC3D2_E1F0,
+];
 
 /// Per-round constants, one per 20-round stage.
 pub const K: [u32; 4] = [0x5A82_7999, 0x6ED9_EBA1, 0x8F1B_BCDC, 0xCA62_C1D6];
@@ -59,11 +65,13 @@ impl Sha1 {
             self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
             self.buffered += take;
             rest = &rest[take..];
-            if self.buffered == 64 {
-                let block = self.buffer;
-                self.compress(&block);
-                self.buffered = 0;
+            if self.buffered < 64 {
+                // `rest` is exhausted; keep the partial buffer for later.
+                return;
             }
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
         }
         while rest.len() >= 64 {
             let (block, tail) = rest.split_at(64);
@@ -189,7 +197,7 @@ mod tests {
             (b"a", "86f7e437faa5a7fce15d1ddcb9eaeaea377667b8"),
             (
                 b"01234567012345670123456701234567012345670123456701234567012345670123456701234567",
-                "4c55a3147b8b6da19b24e0a2a6c91c05c9b18e56",
+                "3eb04424b20997bcda17c283ba015772a816d3b9",
             ),
         ];
         for (msg, want) in cases {
@@ -203,7 +211,10 @@ mod tests {
         for _ in 0..1000 {
             h.update(&[b'a'; 1000]);
         }
-        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&h.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! # uwm-rng — the workspace's deterministic random number generator
+//!
+//! Every stochastic element of the simulator (noise, random gate inputs,
+//! trigger generation, replacement policies) must replay bit-identically
+//! from a seed: determinism is what makes the paper-reproduction tables
+//! checkable and what makes sharded execution mergeable. This crate is a
+//! small, dependency-free PRNG with an API shaped like the subset of
+//! `rand` 0.8 the workspace uses, so call sites only swap their `use`
+//! lines:
+//!
+//! ```
+//! use uwm_rng::rngs::StdRng;
+//! use uwm_rng::{Rng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let coin: bool = rng.gen();
+//! let die = rng.gen_range(1..=6u64);
+//! assert!((1..=6).contains(&die));
+//! let _ = coin;
+//! ```
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64 — the same seeding construction `rand` uses for
+//! `seed_from_u64`, chosen here for its guarantee that every 64-bit seed
+//! yields a well-mixed, nonzero state.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 step: mixes a 64-bit counter into a well-distributed word.
+///
+/// Exposed because per-trial reseeding in the sharded executor derives
+/// hermetic sub-seeds as `splitmix64(seed ^ trial_index)`.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable uniformly from an [`Rng`] via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u8
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable uniformly from an [`Rng`] via [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Multiply-shift reduction of a raw 64-bit draw onto `[0, span)`.
+/// Bias is O(span / 2⁶⁴) — immaterial for simulator-sized ranges, and,
+/// unlike rejection sampling, consumes exactly one draw (keeps noise
+/// streams aligned across configurations).
+#[inline]
+fn reduce(raw: u64, span: u64) -> u64 {
+    ((raw as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_unsigned_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + reduce(rng.next_u64(), span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                lo + reduce(rng.next_u64(), span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_unsigned_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(reduce(rng.next_u64(), span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(reduce(rng.next_u64(), span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32 => u32, i64 => u64, isize => usize);
+
+/// The uniform-sampling interface. All methods derive from
+/// [`Rng::next_u64`], so any implementor replays exactly from its seed.
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws one uniformly distributed `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::sample(self) < p
+    }
+
+    /// Draws uniformly from `range` (half-open or inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R2: SampleRange<T>>(&mut self, range: R2) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    fn fill(&mut self, dest: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256**.
+    ///
+    /// Not cryptographic — it drives simulation noise and test inputs,
+    /// where the requirements are statistical quality, speed, and exact
+    /// replay from a seed.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion guarantees a nonzero, well-mixed state
+            // for every seed (the all-zero state is a fixed point of
+            // xoshiro and must never be entered).
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                *slot = splitmix64(x.wrapping_sub(0x9E37_79B9_7F4A_7C15));
+            }
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_replays() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let draws: Vec<u64> = (0..16).map(|_| rng.next_u64()).collect();
+        assert!(draws.iter().any(|&x| x != 0));
+        assert_ne!(draws[0], draws[1]);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(5..=5u64);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(-50..=50i64);
+            assert!((-50..=50).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..6usize)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all faces of a d6 appear in 1000 rolls"
+        );
+    }
+
+    #[test]
+    fn signed_ranges_are_roughly_centered() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let sum: i64 = (0..100_000).map(|_| rng.gen_range(-100..=100i64)).sum();
+        assert!(sum.abs() < 100_000, "mean should be near zero, sum={sum}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!(
+            (23_000..27_000).contains(&hits),
+            "p=0.25 gave {hits}/100000"
+        );
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn fill_is_deterministic_and_complete() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut ba = [0u8; 23];
+        let mut bb = [0u8; 23];
+        a.fill(&mut ba);
+        b.fill(&mut bb);
+        assert_eq!(ba, bb);
+        assert!(ba.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = rng.gen_range(5..5u64);
+    }
+}

@@ -58,7 +58,10 @@ impl DirectionPredictor {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(kind: PredictorKind, entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "predictor entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "predictor entries must be a power of two"
+        );
         Self {
             kind,
             table: vec![1; entries],
@@ -150,7 +153,10 @@ impl Btb {
     ///
     /// Panics if `entries` is not a power of two.
     pub fn new(entries: usize) -> Self {
-        assert!(entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
         Self {
             entries: vec![None; entries],
         }

@@ -102,13 +102,22 @@ impl Cache {
     pub fn new(cfg: CacheConfig, seed: u64) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         if cfg.policy == Policy::TreePlru {
-            assert!(cfg.ways.is_power_of_two(), "TreePlru needs power-of-two ways");
+            assert!(
+                cfg.ways.is_power_of_two(),
+                "TreePlru needs power-of-two ways"
+            );
         }
         assert!(cfg.ways >= 1, "cache needs at least one way");
         Self {
             tags: vec![vec![None; cfg.ways]; cfg.sets],
             repl: (0..cfg.sets)
-                .map(|s| SetState::new(cfg.policy, cfg.ways, seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .map(|s| {
+                    SetState::new(
+                        cfg.policy,
+                        cfg.ways,
+                        seed ^ (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    )
+                })
                 .collect(),
             cfg,
             hits: 0,
@@ -178,7 +187,7 @@ impl Cache {
     pub fn contains(&self, addr: u64) -> bool {
         let line = line_of(addr);
         let set = self.set_of(line);
-        self.tags[set].iter().any(|&t| t == Some(line))
+        self.tags[set].contains(&Some(line))
     }
 
     /// Removes `addr`'s line if present (this level only).
@@ -250,9 +259,9 @@ mod tests {
     fn conflict_eviction_respects_lru() {
         let mut c = tiny();
         // Lines 0, 2, 4 all map to set 0 (even lines).
-        c.access(0 * 64);
+        c.access(0);
         c.access(2 * 64);
-        c.access(0 * 64); // line 0 is now MRU
+        c.access(0); // line 0 is now MRU
         let (hit, evicted) = c.access_evicting(4 * 64);
         assert!(!hit);
         assert_eq!(evicted, Some(2), "LRU victim should be line 2");
@@ -292,7 +301,7 @@ mod tests {
     #[test]
     fn contains_is_non_invasive() {
         let mut c = tiny();
-        c.access(0 * 64);
+        c.access(0);
         c.access(2 * 64);
         // Repeated contains() must not refresh line 0's recency.
         for _ in 0..10 {

@@ -95,7 +95,11 @@ impl Hierarchy {
     }
 
     fn access_through(&mut self, addr: u64, instruction: bool) -> HitLevel {
-        let l1 = if instruction { &mut self.l1i } else { &mut self.l1d };
+        let l1 = if instruction {
+            &mut self.l1i
+        } else {
+            &mut self.l1d
+        };
         if l1.access(addr) {
             return HitLevel::L1;
         }

@@ -262,16 +262,46 @@ impl Inst {
         let (op, b1, b2, b3, imm): (u8, u8, u8, u8, u32) = match *self {
             Inst::Nop => (OP_NOP, 0, 0, 0, 0),
             Inst::Halt => (OP_HALT, 0, 0, 0, 0),
-            Inst::Mov { dst, src: Operand::Reg(r) } => (OP_MOV_R, dst, r, 0, 0),
-            Inst::Mov { dst, src: Operand::Imm(i) } => (OP_MOV_I, dst, 0, 0, i),
-            Inst::Alu { op, dst, a, b: Operand::Reg(r) } => {
-                (OP_ALU_R, dst, a, alu_code(op), r as u32)
-            }
-            Inst::Alu { op, dst, a, b: Operand::Imm(i) } => (OP_ALU_I, dst, a, alu_code(op), i),
-            Inst::Mul { dst, a, b: Operand::Reg(r) } => (OP_MUL_R, dst, a, 0, r as u32),
-            Inst::Mul { dst, a, b: Operand::Imm(i) } => (OP_MUL_I, dst, a, 0, i),
-            Inst::Div { dst, a, b: Operand::Reg(r) } => (OP_DIV_R, dst, a, 0, r as u32),
-            Inst::Div { dst, a, b: Operand::Imm(i) } => (OP_DIV_I, dst, a, 0, i),
+            Inst::Mov {
+                dst,
+                src: Operand::Reg(r),
+            } => (OP_MOV_R, dst, r, 0, 0),
+            Inst::Mov {
+                dst,
+                src: Operand::Imm(i),
+            } => (OP_MOV_I, dst, 0, 0, i),
+            Inst::Alu {
+                op,
+                dst,
+                a,
+                b: Operand::Reg(r),
+            } => (OP_ALU_R, dst, a, alu_code(op), r as u32),
+            Inst::Alu {
+                op,
+                dst,
+                a,
+                b: Operand::Imm(i),
+            } => (OP_ALU_I, dst, a, alu_code(op), i),
+            Inst::Mul {
+                dst,
+                a,
+                b: Operand::Reg(r),
+            } => (OP_MUL_R, dst, a, 0, r as u32),
+            Inst::Mul {
+                dst,
+                a,
+                b: Operand::Imm(i),
+            } => (OP_MUL_I, dst, a, 0, i),
+            Inst::Div {
+                dst,
+                a,
+                b: Operand::Reg(r),
+            } => (OP_DIV_R, dst, a, 0, r as u32),
+            Inst::Div {
+                dst,
+                a,
+                b: Operand::Imm(i),
+            } => (OP_DIV_I, dst, a, 0, i),
             Inst::Load { dst, addr } => (OP_LOAD, dst, 0, 0, addr),
             Inst::LoadInd { dst, base, offset } => (OP_LOAD_IND, dst, base, 0, offset),
             Inst::Store { addr, src } => (OP_STORE, 0, src, 0, addr),
@@ -393,9 +423,7 @@ impl Inst {
             },
             OP_TOUCH_CODE if (b1, b2, b3) == (0, 0, 0) => Inst::TouchCode { addr: imm },
             OP_JMP if (b1, b2, b3) == (0, 0, 0) => Inst::Jmp { target: imm },
-            OP_JMP_IND if reg_ok(b1) && b2 == 0 && b3 == 0 && imm == 0 => {
-                Inst::JmpInd { base: b1 }
-            }
+            OP_JMP_IND if reg_ok(b1) && b2 == 0 && b3 == 0 && imm == 0 => Inst::JmpInd { base: b1 },
             OP_BRZ if b3 == 0 => Inst::Brz {
                 cond_addr: imm,
                 rel: (b1 as u16 | ((b2 as u16) << 8)) as i16,
@@ -436,7 +464,11 @@ impl Program {
     ///
     /// Panics if `pc` is not a multiple of [`INST_SIZE`].
     pub fn put(&mut self, pc: u64, inst: Inst) {
-        assert_eq!(pc % INST_SIZE, 0, "instructions must be {INST_SIZE}-byte aligned");
+        assert_eq!(
+            pc % INST_SIZE,
+            0,
+            "instructions must be {INST_SIZE}-byte aligned"
+        );
         self.insts.insert(pc, inst);
     }
 
@@ -501,8 +533,14 @@ impl fmt::Display for AssembleError {
         match self {
             AssembleError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
             AssembleError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
-            AssembleError::BranchOutOfRange { label, displacement } => {
-                write!(f, "branch to `{label}` out of range ({displacement} instructions)")
+            AssembleError::BranchOutOfRange {
+                label,
+                displacement,
+            } => {
+                write!(
+                    f,
+                    "branch to `{label}` out of range ({displacement} instructions)"
+                )
             }
         }
     }
@@ -510,6 +548,7 @@ impl fmt::Display for AssembleError {
 
 impl std::error::Error for AssembleError {}
 
+#[allow(clippy::enum_variant_names)] // the shared postfix is the point: each fixes up one target kind
 enum Fixup {
     BrzTarget { index: usize, label: String },
     JmpTarget { index: usize, label: String },
@@ -612,7 +651,7 @@ impl Assembler {
     /// Panics unless `align` is a power-of-two multiple of [`INST_SIZE`].
     pub fn align_to(&mut self, align: u64) {
         assert!(align.is_power_of_two() && align >= INST_SIZE);
-        while self.next % align != 0 {
+        while !self.next.is_multiple_of(align) {
             self.push(Inst::Nop);
         }
     }
@@ -710,7 +749,9 @@ impl Assembler {
                         (Inst::TouchCode { .. }, Fixup::TouchTarget { .. }) => {
                             Inst::TouchCode { addr: t32 }
                         }
-                        (Inst::Flush { .. }, Fixup::FlushTarget { .. }) => Inst::Flush { addr: t32 },
+                        (Inst::Flush { .. }, Fixup::FlushTarget { .. }) => {
+                            Inst::Flush { addr: t32 }
+                        }
                         (Inst::Xbegin { .. }, Fixup::XbeginTarget { .. }) => {
                             Inst::Xbegin { handler: t32 }
                         }
@@ -736,26 +777,83 @@ mod tests {
         vec![
             Inst::Nop,
             Inst::Halt,
-            Inst::Mov { dst: 3, src: Operand::Reg(4) },
-            Inst::Mov { dst: 15, src: Operand::Imm(0xDEAD_BEEF) },
-            Inst::Alu { op: AluOp::Add, dst: 1, a: 2, b: Operand::Imm(7) },
-            Inst::Alu { op: AluOp::Xor, dst: 1, a: 2, b: Operand::Reg(3) },
-            Inst::Alu { op: AluOp::Shl, dst: 0, a: 0, b: Operand::Imm(5) },
-            Inst::Mul { dst: 2, a: 3, b: Operand::Reg(4) },
-            Inst::Mul { dst: 2, a: 3, b: Operand::Imm(9) },
-            Inst::Div { dst: 2, a: 3, b: Operand::Imm(0) },
-            Inst::Div { dst: 2, a: 3, b: Operand::Reg(5) },
-            Inst::Load { dst: 7, addr: 0x4000 },
-            Inst::LoadInd { dst: 7, base: 8, offset: 16 },
-            Inst::Store { addr: 0x4000, src: 7 },
-            Inst::StoreInd { base: 7, offset: 8, src: 9 },
+            Inst::Mov {
+                dst: 3,
+                src: Operand::Reg(4),
+            },
+            Inst::Mov {
+                dst: 15,
+                src: Operand::Imm(0xDEAD_BEEF),
+            },
+            Inst::Alu {
+                op: AluOp::Add,
+                dst: 1,
+                a: 2,
+                b: Operand::Imm(7),
+            },
+            Inst::Alu {
+                op: AluOp::Xor,
+                dst: 1,
+                a: 2,
+                b: Operand::Reg(3),
+            },
+            Inst::Alu {
+                op: AluOp::Shl,
+                dst: 0,
+                a: 0,
+                b: Operand::Imm(5),
+            },
+            Inst::Mul {
+                dst: 2,
+                a: 3,
+                b: Operand::Reg(4),
+            },
+            Inst::Mul {
+                dst: 2,
+                a: 3,
+                b: Operand::Imm(9),
+            },
+            Inst::Div {
+                dst: 2,
+                a: 3,
+                b: Operand::Imm(0),
+            },
+            Inst::Div {
+                dst: 2,
+                a: 3,
+                b: Operand::Reg(5),
+            },
+            Inst::Load {
+                dst: 7,
+                addr: 0x4000,
+            },
+            Inst::LoadInd {
+                dst: 7,
+                base: 8,
+                offset: 16,
+            },
+            Inst::Store {
+                addr: 0x4000,
+                src: 7,
+            },
+            Inst::StoreInd {
+                base: 7,
+                offset: 8,
+                src: 9,
+            },
             Inst::Flush { addr: 0x4040 },
             Inst::FlushInd { base: 2, offset: 0 },
             Inst::TouchCode { addr: 0x8000 },
             Inst::Jmp { target: 0x8000 },
             Inst::JmpInd { base: 5 },
-            Inst::Brz { cond_addr: 0x4000, rel: -3 },
-            Inst::Brz { cond_addr: 0x4000, rel: 200 },
+            Inst::Brz {
+                cond_addr: 0x4000,
+                rel: -3,
+            },
+            Inst::Brz {
+                cond_addr: 0x4000,
+                rel: 200,
+            },
             Inst::Rdtscp { dst: 0 },
             Inst::Xbegin { handler: 0x9000 },
             Inst::Xend,
@@ -824,7 +922,10 @@ mod tests {
 
         let mut a = Assembler::new(0);
         a.label("x").unwrap();
-        assert!(matches!(a.label("x"), Err(AssembleError::DuplicateLabel(_))));
+        assert!(matches!(
+            a.label("x"),
+            Err(AssembleError::DuplicateLabel(_))
+        ));
     }
 
     #[test]

@@ -663,7 +663,11 @@ impl Machine {
             // An emulator resolves the branch instantly and perfectly.
             self.cycles += self.cfg.latency.alu + self.cfg.latency.l1;
             self.bp.update(pc, actual_taken);
-            return StepResult::Continue(if actual_taken { taken_target } else { fallthrough });
+            return StepResult::Continue(if actual_taken {
+                taken_target
+            } else {
+                fallthrough
+            });
         }
 
         let resolve_lat = self.data_access(cond_addr, false);
@@ -682,11 +686,19 @@ impl Machine {
             let window = self
                 .noise
                 .bp_window(resolve_lat + self.cfg.latency.spec_window_slack);
-            let wrong_path = if predicted_taken { taken_target } else { fallthrough };
+            let wrong_path = if predicted_taken {
+                taken_target
+            } else {
+                fallthrough
+            };
             self.speculate(wrong_path, window);
             self.cycles += resolve_lat + self.cfg.latency.mispredict_penalty;
         }
-        StepResult::Continue(if actual_taken { taken_target } else { fallthrough })
+        StepResult::Continue(if actual_taken {
+            taken_target
+        } else {
+            fallthrough
+        })
     }
 
     // ------------------------------------------------------------------
@@ -813,8 +825,7 @@ impl Machine {
                     let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
                     if start <= window {
                         let delay = self.contention.mul_delay(self.cycles + start);
-                        vals[dst as usize] =
-                            vals[a as usize].wrapping_mul(self.operand(&vals, b));
+                        vals[dst as usize] = vals[a as usize].wrapping_mul(self.operand(&vals, b));
                         ready[dst as usize] = start + lat.mul + delay;
                         self.contention
                             .pressure_mul(crate::contention::MUL_OCCUPANCY, self.cycles + start);
@@ -1042,8 +1053,15 @@ mod tests {
     fn arithmetic_and_halt() {
         let mut m = quiet();
         let mut a = Assembler::new(0);
-        a.push(Inst::Mov { dst: 1, src: Operand::Imm(6) });
-        a.push(Inst::Mul { dst: 2, a: 1, b: Operand::Imm(7) });
+        a.push(Inst::Mov {
+            dst: 1,
+            src: Operand::Imm(6),
+        });
+        a.push(Inst::Mul {
+            dst: 2,
+            a: 1,
+            b: Operand::Imm(7),
+        });
         a.push(Inst::Halt);
         m.load_program(a.finish().unwrap());
         assert_eq!(m.run_at(0), RunOutcome::Halted);
@@ -1054,9 +1072,18 @@ mod tests {
     fn load_store_roundtrip() {
         let mut m = quiet();
         let mut a = Assembler::new(0);
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(0xABCD) });
-        a.push(Inst::Store { addr: 0x4000, src: 0 });
-        a.push(Inst::Load { dst: 1, addr: 0x4000 });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(0xABCD),
+        });
+        a.push(Inst::Store {
+            addr: 0x4000,
+            src: 0,
+        });
+        a.push(Inst::Load {
+            dst: 1,
+            addr: 0x4000,
+        });
         a.push(Inst::Halt);
         m.load_program(a.finish().unwrap());
         m.run_at(0);
@@ -1068,11 +1095,18 @@ mod tests {
     fn div_by_zero_faults_outside_tx() {
         let mut m = quiet();
         let mut a = Assembler::new(0);
-        a.push(Inst::Div { dst: 0, a: 0, b: Operand::Imm(0) });
+        a.push(Inst::Div {
+            dst: 0,
+            a: 0,
+            b: Operand::Imm(0),
+        });
         m.load_program(a.finish().unwrap());
         assert_eq!(
             m.run_at(0),
-            RunOutcome::Fault { pc: 0, cause: FaultCause::DivByZero }
+            RunOutcome::Fault {
+                pc: 0,
+                cause: FaultCause::DivByZero
+            }
         );
     }
 
@@ -1090,7 +1124,10 @@ mod tests {
         let mut m = quiet();
         let mut a = Assembler::new(0);
         a.push(Inst::Rdtscp { dst: 0 });
-        a.push(Inst::Load { dst: 2, addr: 0x4000 });
+        a.push(Inst::Load {
+            dst: 2,
+            addr: 0x4000,
+        });
         a.push(Inst::Rdtscp { dst: 1 });
         a.push(Inst::Halt);
         m.load_program(a.finish().unwrap());
@@ -1106,10 +1143,16 @@ mod tests {
         m.mem_mut().write_u64(0x4000, 0); // zero → taken
         let mut a = Assembler::new(0);
         a.brz(0x4000, "taken");
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(1) });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(1),
+        });
         a.push(Inst::Halt);
         a.label("taken").unwrap();
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(2) });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(2),
+        });
         a.push(Inst::Halt);
         m.load_program(a.finish().unwrap());
         m.run_at(0);
@@ -1137,9 +1180,12 @@ mod tests {
         m.load_program(a.finish().unwrap());
 
         // Mistrain: the predictor slot for pc=0 learns "not taken".
-        let alias = 0 + m.predictor().alias_stride();
+        let alias = m.predictor().alias_stride();
         let mut train = Assembler::new(alias);
-        train.push(Inst::Brz { cond_addr: 0x4100, rel: 0 }); // mem[0x4100]=1 → fall through
+        train.push(Inst::Brz {
+            cond_addr: 0x4100,
+            rel: 0,
+        }); // mem[0x4100]=1 → fall through
         train.push(Inst::Halt);
         m.add_program(train.finish().unwrap());
         m.mem_mut().write_u64(0x4100, 1);
@@ -1182,7 +1228,10 @@ mod tests {
 
         let alias = m.predictor().alias_stride();
         let mut train = Assembler::new(alias);
-        train.push(Inst::Brz { cond_addr: 0x4100, rel: 0 });
+        train.push(Inst::Brz {
+            cond_addr: 0x4100,
+            rel: 0,
+        });
         train.push(Inst::Halt);
         m.add_program(train.finish().unwrap());
         m.mem_mut().write_u64(0x4100, 1);
@@ -1205,24 +1254,49 @@ mod tests {
     fn tsx_commit_is_visible_abort_is_rolled_back() {
         let mut m = quiet();
         let mut a = Assembler::new(0);
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(7) });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(7),
+        });
         a.push(Inst::Xbegin { handler: 0 }); // patched below
-        a.push(Inst::Store { addr: 0x4000, src: 0 });
-        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) }); // abort
-        a.push(Inst::Store { addr: 0x4008, src: 0 });
+        a.push(Inst::Store {
+            addr: 0x4000,
+            src: 0,
+        });
+        a.push(Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        }); // abort
+        a.push(Inst::Store {
+            addr: 0x4008,
+            src: 0,
+        });
         a.push(Inst::Xend);
         a.push(Inst::Halt);
         a.label("handler").unwrap();
-        a.push(Inst::Mov { dst: 5, src: Operand::Imm(1) });
+        a.push(Inst::Mov {
+            dst: 5,
+            src: Operand::Imm(1),
+        });
         a.push(Inst::Halt);
         let handler = a.resolve("handler").unwrap();
         let mut p = a.finish().unwrap();
-        p.put(8, Inst::Xbegin { handler: handler as u32 });
+        p.put(
+            8,
+            Inst::Xbegin {
+                handler: handler as u32,
+            },
+        );
         m.load_program(p);
 
         assert_eq!(m.run_at(0), RunOutcome::Halted);
         assert_eq!(m.reg(5), 1, "abort handler ran");
-        assert_eq!(m.mem().read_u64(0x4000), 0, "transactional store rolled back");
+        assert_eq!(
+            m.mem().read_u64(0x4000),
+            0,
+            "transactional store rolled back"
+        );
         assert_eq!(m.mem().read_u64(0x4008), 0);
     }
 
@@ -1238,17 +1312,35 @@ mod tests {
 
         let mut a = Assembler::new(0);
         a.push(Inst::Xbegin { handler: 0 });
-        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        a.push(Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        });
         // d3 := d0 (assignment gate): deref chain through d0's value.
         a.push(Inst::Load { dst: 2, addr: d0 });
-        a.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
-        a.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: 2,
+            a: 2,
+            b: Operand::Imm(d3),
+        });
+        a.push(Inst::LoadInd {
+            dst: 3,
+            base: 2,
+            offset: 0,
+        });
         a.push(Inst::Xend);
         a.label("handler").unwrap();
         a.push(Inst::Halt);
         let handler = a.resolve("handler").unwrap();
         let mut p = a.finish().unwrap();
-        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        p.put(
+            0,
+            Inst::Xbegin {
+                handler: handler as u32,
+            },
+        );
         m.load_program(p);
 
         assert_eq!(m.run_at(0), RunOutcome::Halted);
@@ -1268,20 +1360,41 @@ mod tests {
 
         let mut a = Assembler::new(0);
         a.push(Inst::Xbegin { handler: 0 });
-        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        a.push(Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        });
         a.push(Inst::Load { dst: 2, addr: d0 });
-        a.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
-        a.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: 2,
+            a: 2,
+            b: Operand::Imm(d3),
+        });
+        a.push(Inst::LoadInd {
+            dst: 3,
+            base: 2,
+            offset: 0,
+        });
         a.push(Inst::Xend);
         a.label("handler").unwrap();
         a.push(Inst::Halt);
         let handler = a.resolve("handler").unwrap();
         let mut p = a.finish().unwrap();
-        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        p.put(
+            0,
+            Inst::Xbegin {
+                handler: handler as u32,
+            },
+        );
         m.load_program(p);
 
         m.run_at(0);
-        assert!(!m.hierarchy().in_l1d(d3 as u64), "slow chain must be squashed");
+        assert!(
+            !m.hierarchy().in_l1d(d3 as u64),
+            "slow chain must be squashed"
+        );
         assert!(
             m.hierarchy().in_l1d(d0 as u64),
             "the issued miss still fills the input line (state decoherence, §3.1)"
@@ -1296,7 +1409,10 @@ mod tests {
         m.load_program(a.finish().unwrap());
         assert_eq!(
             m.run_at(0),
-            RunOutcome::Fault { pc: 0, cause: FaultCause::TxMisuse }
+            RunOutcome::Fault {
+                pc: 0,
+                cause: FaultCause::TxMisuse
+            }
         );
     }
 
@@ -1316,7 +1432,13 @@ mod tests {
         let mut m = quiet();
         // Write "Mov r0, 99; Halt" into memory as bytes, then run there.
         let code_at = 0x2_0000u64;
-        let insts = [Inst::Mov { dst: 0, src: Operand::Imm(99) }, Inst::Halt];
+        let insts = [
+            Inst::Mov {
+                dst: 0,
+                src: Operand::Imm(99),
+            },
+            Inst::Halt,
+        ];
         let mut bytes = Vec::new();
         for i in &insts {
             bytes.extend_from_slice(&i.encode());
@@ -1333,7 +1455,10 @@ mod tests {
         m.mem_mut().write_bytes(code_at, &[0xAB; 8]);
         assert!(matches!(
             m.run_at(code_at),
-            RunOutcome::Fault { cause: FaultCause::InvalidInstruction, .. }
+            RunOutcome::Fault {
+                cause: FaultCause::InvalidInstruction,
+                ..
+            }
         ));
     }
 
@@ -1349,19 +1474,40 @@ mod tests {
         let d3 = 0x4400u32;
         let mut asm = Assembler::new(0);
         asm.push(Inst::Xbegin { handler: 0 });
-        asm.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        asm.push(Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        });
         asm.push(Inst::Load { dst: 2, addr: d0 });
-        asm.push(Inst::Alu { op: AluOp::Add, dst: 2, a: 2, b: Operand::Imm(d3) });
-        asm.push(Inst::LoadInd { dst: 3, base: 2, offset: 0 });
+        asm.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: 2,
+            a: 2,
+            b: Operand::Imm(d3),
+        });
+        asm.push(Inst::LoadInd {
+            dst: 3,
+            base: 2,
+            offset: 0,
+        });
         asm.push(Inst::Xend);
         asm.label("handler").unwrap();
         asm.push(Inst::Halt);
         let handler = asm.resolve("handler").unwrap();
         let mut p = asm.finish().unwrap();
-        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        p.put(
+            0,
+            Inst::Xbegin {
+                handler: handler as u32,
+            },
+        );
         m.load_program(p);
         m.run_at(0);
-        assert!(!m.hierarchy().in_l1d(d3 as u64), "no MA effects in flat mode");
+        assert!(
+            !m.hierarchy().in_l1d(d3 as u64),
+            "no MA effects in flat mode"
+        );
     }
 
     #[test]
@@ -1371,21 +1517,42 @@ mod tests {
         *m.tracer_mut() = Tracer::new();
         let mut a = Assembler::new(0);
         a.push(Inst::Xbegin { handler: 0 });
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(0x5EC2E7) }); // "secret"
-        a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(0x5EC2E7),
+        }); // "secret"
+        a.push(Inst::Div {
+            dst: 1,
+            a: 1,
+            b: Operand::Imm(0),
+        });
         a.push(Inst::Xend);
         a.label("handler").unwrap();
         a.push(Inst::Halt);
         let handler = a.resolve("handler").unwrap();
         let mut p = a.finish().unwrap();
-        p.put(0, Inst::Xbegin { handler: handler as u32 });
+        p.put(
+            0,
+            Inst::Xbegin {
+                handler: handler as u32,
+            },
+        );
         m.load_program(p);
         m.run_at(0);
         let has_secret = m.tracer().events().iter().any(|e| {
             matches!(e, ArchEvent::RegWrite { value, .. } if *value == 0x5EC2E7)
-                || matches!(e, ArchEvent::Commit { inst: Inst::Mov { .. }, .. })
+                || matches!(
+                    e,
+                    ArchEvent::Commit {
+                        inst: Inst::Mov { .. },
+                        ..
+                    }
+                )
         });
-        assert!(!has_secret, "aborted-tx contents must not appear in the trace");
+        assert!(
+            !has_secret,
+            "aborted-tx contents must not appear in the trace"
+        );
     }
 
     #[test]
@@ -1394,7 +1561,10 @@ mod tests {
             let mut m = Machine::new(MachineConfig::default(), 1234);
             let mut a = Assembler::new(0);
             for i in 0..20 {
-                a.push(Inst::Load { dst: 0, addr: 0x4000 + i * 64 });
+                a.push(Inst::Load {
+                    dst: 0,
+                    addr: 0x4000 + i * 64,
+                });
             }
             a.push(Inst::Halt);
             m.load_program(a.finish().unwrap());

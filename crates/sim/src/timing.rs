@@ -5,8 +5,8 @@
 //! values here are chosen to resemble a Skylake-class core while keeping the
 //! arithmetic easy to follow in tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use uwm_rng::rngs::StdRng;
+use uwm_rng::{Rng, SeedableRng};
 
 /// Cycle counts for the basic operations of the simulated core.
 ///
@@ -241,7 +241,8 @@ impl NoiseGen {
     /// middle of a timed operation. Returns `0` most of the time.
     pub fn interrupt_spike(&mut self) -> u64 {
         if self.cfg.spike_prob > 0.0 && self.rng.gen_bool(self.cfg.spike_prob) {
-            self.rng.gen_range(self.cfg.spike_range.0..=self.cfg.spike_range.1)
+            self.rng
+                .gen_range(self.cfg.spike_range.0..=self.cfg.spike_range.1)
         } else {
             0
         }
@@ -366,7 +367,10 @@ mod tests {
             7,
         );
         let collapsed = (0..1000).filter(|_| gen.tsx_window(200) == 0).count();
-        assert!(collapsed > 300, "expected frequent collapses, got {collapsed}");
+        assert!(
+            collapsed > 300,
+            "expected frequent collapses, got {collapsed}"
+        );
         // BP windows use the separate (zero here) collapse probability.
         assert_eq!(gen.bp_window(200), 200);
     }

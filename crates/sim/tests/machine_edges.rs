@@ -26,7 +26,10 @@ fn speculative_infinite_loop_is_bounded() {
     // Mistrain toward fall-through so the wrong path executes.
     let alias = m.predictor().alias_stride();
     let mut t = Assembler::new(alias);
-    t.push(Inst::Brz { cond_addr: 0x4100, rel: 0 });
+    t.push(Inst::Brz {
+        cond_addr: 0x4100,
+        rel: 0,
+    });
     t.push(Inst::Halt);
     m.add_program(t.finish().unwrap());
     m.mem_mut().write_u64(0x4100, 1);
@@ -34,7 +37,11 @@ fn speculative_infinite_loop_is_bounded() {
         m.run_at(alias);
     }
     m.flush_addr(0x4000);
-    assert_eq!(m.run_at(0), RunOutcome::Halted, "speculation must terminate");
+    assert_eq!(
+        m.run_at(0),
+        RunOutcome::Halted,
+        "speculation must terminate"
+    );
     let stats = m.stats();
     assert!(stats.speculative_insts <= uwm_sim::machine::MAX_SPEC_INSTS as u64 + 4);
 }
@@ -49,7 +56,10 @@ fn nested_xbegin_aborts() {
     a.push(Inst::Xend);
     a.push(Inst::Halt);
     a.label("handler").unwrap();
-    a.push(Inst::Mov { dst: 7, src: Operand::Imm(1) });
+    a.push(Inst::Mov {
+        dst: 7,
+        src: Operand::Imm(1),
+    });
     a.push(Inst::Halt);
     m.load_program(a.finish().unwrap());
     assert_eq!(m.run_at(0), RunOutcome::Halted);
@@ -65,15 +75,31 @@ fn committed_vs_aborted_stores() {
     let mut a = Assembler::new(0);
     // Committed transaction.
     a.xbegin("h1");
-    a.push(Inst::Mov { dst: 0, src: Operand::Imm(11) });
-    a.push(Inst::Store { addr: 0x4000, src: 0 });
+    a.push(Inst::Mov {
+        dst: 0,
+        src: Operand::Imm(11),
+    });
+    a.push(Inst::Store {
+        addr: 0x4000,
+        src: 0,
+    });
     a.push(Inst::Xend);
     a.label("h1").unwrap();
     // Aborted transaction.
     a.xbegin("h2");
-    a.push(Inst::Mov { dst: 0, src: Operand::Imm(22) });
-    a.push(Inst::Store { addr: 0x4008, src: 0 });
-    a.push(Inst::Div { dst: 1, a: 1, b: Operand::Imm(0) });
+    a.push(Inst::Mov {
+        dst: 0,
+        src: Operand::Imm(22),
+    });
+    a.push(Inst::Store {
+        addr: 0x4008,
+        src: 0,
+    });
+    a.push(Inst::Div {
+        dst: 1,
+        a: 1,
+        b: Operand::Imm(0),
+    });
     a.push(Inst::Xend);
     a.label("h2").unwrap();
     a.push(Inst::Halt);
@@ -124,7 +150,10 @@ fn fence_observes_rob_pressure() {
     let mut m = quiet();
     let mut a = Assembler::new(0);
     for i in 0..8u32 {
-        a.push(Inst::Load { dst: 1, addr: 0x8000 + i * 64 });
+        a.push(Inst::Load {
+            dst: 1,
+            addr: 0x8000 + i * 64,
+        });
     }
     a.push(Inst::Fence);
     a.push(Inst::Halt);
@@ -149,7 +178,10 @@ fn fence_observes_rob_pressure() {
 fn single_byte_corruption_changes_decode() {
     let insts = [
         Inst::Jmp { target: 0x1234 },
-        Inst::Load { dst: 3, addr: 0x4000 },
+        Inst::Load {
+            dst: 3,
+            addr: 0x4000,
+        },
         Inst::Xbegin { handler: 0x88 },
         Inst::Rdtscp { dst: 2 },
     ];
@@ -160,7 +192,10 @@ fn single_byte_corruption_changes_decode() {
                 let mut corrupted = bytes;
                 corrupted[i] ^= flip;
                 let decoded = Inst::decode(&corrupted);
-                assert_ne!(decoded, inst, "corrupting byte {i} of {inst:?} must change decode");
+                assert_ne!(
+                    decoded, inst,
+                    "corrupting byte {i} of {inst:?} must change decode"
+                );
             }
         }
     }
@@ -172,13 +207,35 @@ fn single_byte_corruption_changes_decode() {
 fn flat_and_ma_models_agree_architecturally() {
     let build = || {
         let mut a = Assembler::new(0);
-        a.push(Inst::Mov { dst: 0, src: Operand::Imm(10) });
-        a.push(Inst::Store { addr: 0x4000, src: 0 });
+        a.push(Inst::Mov {
+            dst: 0,
+            src: Operand::Imm(10),
+        });
+        a.push(Inst::Store {
+            addr: 0x4000,
+            src: 0,
+        });
         a.label("loop").unwrap();
-        a.push(Inst::Load { dst: 0, addr: 0x4000 });
-        a.push(Inst::Alu { op: AluOp::Sub, dst: 0, a: 0, b: Operand::Imm(1) });
-        a.push(Inst::Store { addr: 0x4000, src: 0 });
-        a.push(Inst::Alu { op: AluOp::Add, dst: 5, a: 5, b: Operand::Imm(3) });
+        a.push(Inst::Load {
+            dst: 0,
+            addr: 0x4000,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Sub,
+            dst: 0,
+            a: 0,
+            b: Operand::Imm(1),
+        });
+        a.push(Inst::Store {
+            addr: 0x4000,
+            src: 0,
+        });
+        a.push(Inst::Alu {
+            op: AluOp::Add,
+            dst: 5,
+            a: 5,
+            b: Operand::Imm(3),
+        });
         a.brz(0x4000, "end");
         a.jmp("loop");
         a.label("end").unwrap();
@@ -202,12 +259,22 @@ fn flat_and_ma_models_agree_architecturally() {
 fn div_by_zero_register_faults() {
     let mut m = quiet();
     let mut a = Assembler::new(0);
-    a.push(Inst::Mov { dst: 2, src: Operand::Imm(0) });
-    a.push(Inst::Div { dst: 1, a: 1, b: Operand::Reg(2) });
+    a.push(Inst::Mov {
+        dst: 2,
+        src: Operand::Imm(0),
+    });
+    a.push(Inst::Div {
+        dst: 1,
+        a: 1,
+        b: Operand::Reg(2),
+    });
     m.load_program(a.finish().unwrap());
     assert!(matches!(
         m.run_at(0),
-        RunOutcome::Fault { cause: FaultCause::DivByZero, .. }
+        RunOutcome::Fault {
+            cause: FaultCause::DivByZero,
+            ..
+        }
     ));
 }
 

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let r = apt.ping(&trigger);
         println!(
             "  ping {pings}: {} ({} TSX-XOR gate executions)",
-            if r.triggered { "PAYLOAD EXECUTED" } else { "decode failed, still silent" },
+            if r.triggered {
+                "PAYLOAD EXECUTED"
+            } else {
+                "decode failed, still silent"
+            },
             r.xor_executions
         );
         if r.triggered {

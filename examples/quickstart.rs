@@ -32,11 +32,12 @@ fn main() -> Result<()> {
 
     // --- 3. A weird circuit: XOR with invisible intermediates ----------
     let mut cb = CircuitBuilder::new();
-    let a = cb.input(&mut m, &mut lay)?;
-    let b = cb.input(&mut m, &mut lay)?;
-    let q = cb.xor(&mut m, &mut lay, a, b)?;
+    let a = cb.input(&mut lay)?;
+    let b = cb.input(&mut lay)?;
+    let q = cb.xor(&mut lay, a, b)?;
     cb.mark_output(q);
-    let circuit = cb.finish()?;
+    // The spec is machine-free; instantiating binds it to this machine.
+    let circuit = cb.finish()?.instantiate(&mut m);
     println!(
         "\nTSX XOR circuit ({} transactions, no visible intermediates):",
         circuit.gate_count()

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sk = Skelly::quiet(2024)?;
     // Light redundancy so the example finishes quickly; the Table 4
     // experiment in the bench harness uses the paper's s=10, k=3, n=5.
-    sk.set_redundancy(Redundancy { samples: 1, votes: 1, k: 1 });
+    sk.set_redundancy(Redundancy {
+        samples: 1,
+        votes: 1,
+        k: 1,
+    });
 
     let digest = UwmSha1::new(&mut sk).hash(message.as_bytes());
     let reference = sha1(message.as_bytes());

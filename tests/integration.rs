@@ -18,8 +18,7 @@ fn register_and_gate_layers_share_state() {
     let mut lay = Layout::new(m.predictor().alias_stride());
     let input = lay.alloc_var().unwrap();
     let out = lay.alloc_var().unwrap();
-    let gate =
-        uwm_core::gate::tsx::TsxAssign::build_wired(&mut m, &mut lay, input, out).unwrap();
+    let gate = uwm_core::gate::tsx::TsxAssign::build_wired(&mut m, &mut lay, input, out).unwrap();
     let reg = DcWr::at(input, 100);
 
     reg.write(&mut m, true);
@@ -34,7 +33,14 @@ fn register_and_gate_layers_share_state() {
 #[test]
 fn eight_bit_adder_from_skelly() {
     let mut sk = Skelly::quiet(5).unwrap();
-    for (a, b) in [(0u32, 0u32), (1, 1), (127, 1), (200, 55), (255, 255), (170, 85)] {
+    for (a, b) in [
+        (0u32, 0u32),
+        (1, 1),
+        (127, 1),
+        (200, 55),
+        (255, 255),
+        (170, 85),
+    ] {
         let sum = sk.add32(a, b) & 0xFF;
         assert_eq!(sum, (a + b) & 0xFF, "{a}+{b}");
     }
@@ -79,7 +85,10 @@ fn emulation_detection_is_seed_robust() {
             probe_config(MachineConfig::default(), seed).unwrap(),
             Platform::RealHardware
         );
-        assert_eq!(probe_config(MachineConfig::flat(), seed).unwrap(), Platform::Emulated);
+        assert_eq!(
+            probe_config(MachineConfig::flat(), seed).unwrap(),
+            Platform::Emulated
+        );
     }
 }
 
@@ -90,11 +99,11 @@ fn circuit_and_skelly_xor_agree() {
     let mut sk = Skelly::quiet(9).unwrap();
     let (m, lay) = sk.machine_and_layout();
     let mut cb = CircuitBuilder::new();
-    let a = cb.input(m, lay).unwrap();
-    let b = cb.input(m, lay).unwrap();
-    let q = cb.xor(m, lay, a, b).unwrap();
+    let a = cb.input(lay).unwrap();
+    let b = cb.input(lay).unwrap();
+    let q = cb.xor(lay, a, b).unwrap();
     cb.mark_output(q);
-    let circuit = cb.finish().unwrap();
+    let circuit = cb.finish().unwrap().instantiate(m);
     for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
         let circuit_out = circuit.run(sk.machine_mut(), &[x, y]).unwrap()[0];
         let skelly_out = sk.tsx_xor(x, y);
@@ -140,5 +149,9 @@ fn whole_stack_is_deterministic_per_seed() {
         (c.raw_correct, c.raw_total)
     };
     assert_eq!(run(123), run(123));
-    assert_ne!(run(123), run(124), "different seeds should differ somewhere");
+    assert_ne!(
+        run(123),
+        run(124),
+        "different seeds should differ somewhere"
+    );
 }

@@ -17,11 +17,11 @@ fn circuit_activation_traces_are_identical() {
     let mut m = Machine::new(MachineConfig::quiet(), 0);
     let mut lay = Layout::new(m.predictor().alias_stride());
     let mut cb = CircuitBuilder::new();
-    let a = cb.input(&mut m, &mut lay).unwrap();
-    let b = cb.input(&mut m, &mut lay).unwrap();
-    let q = cb.xor(&mut m, &mut lay, a, b).unwrap();
+    let a = cb.input(&mut lay).unwrap();
+    let b = cb.input(&mut lay).unwrap();
+    let q = cb.xor(&mut lay, a, b).unwrap();
     cb.mark_output(q);
-    let circuit = cb.finish().unwrap();
+    let circuit = cb.finish().unwrap().instantiate(&mut m);
 
     let mut fingerprints = Vec::new();
     let mut outputs = Vec::new();
@@ -36,7 +36,11 @@ fn circuit_activation_traces_are_identical() {
         fingerprints.windows(2).all(|w| w[0] == w[1]),
         "four different computations, one architectural trace"
     );
-    assert_eq!(outputs, vec![false, true, true, false], "…but different results");
+    assert_eq!(
+        outputs,
+        vec![false, true, true, false],
+        "…but different results"
+    );
 }
 
 /// A dormant APT processing wrong pings commits exactly the same
@@ -44,8 +48,8 @@ fn circuit_activation_traces_are_identical() {
 /// events involve the payload.
 #[test]
 fn wrong_pings_are_architecturally_indistinguishable() {
-    let (mut apt, trigger) = WmApt::with_config(MachineConfig::quiet(), 4, Payload::ReverseShell)
-        .unwrap();
+    let (mut apt, trigger) =
+        WmApt::with_config(MachineConfig::quiet(), 4, Payload::ReverseShell).unwrap();
 
     let mut wrong1 = trigger;
     wrong1[0] ^= 0x55;
@@ -85,11 +89,19 @@ fn triggered_ping_trace_differs_and_shows_payload() {
     *apt.skelly_mut().machine_mut().tracer_mut() = Tracer::new();
     let r = apt.ping(&trigger);
     assert!(r.triggered, "quiet machine: first ping lands");
-    let events = apt.skelly_mut().machine_mut().tracer_mut().events().to_vec();
+    let events = apt
+        .skelly_mut()
+        .machine_mut()
+        .tracer_mut()
+        .events()
+        .to_vec();
     let payload_visible = events
         .iter()
         .any(|e| matches!(e, ArchEvent::MemWrite { addr, .. } if *addr == MARKER_ADDR));
-    assert!(payload_visible, "after triggering, the payload runs in the open");
+    assert!(
+        payload_visible,
+        "after triggering, the payload runs in the open"
+    );
 }
 
 /// The aborted-transaction path never surfaces the garbage the wrong key
@@ -103,9 +115,17 @@ fn trap_and_garbage_never_commit() {
     *apt.skelly_mut().machine_mut().tracer_mut() = Tracer::new();
     apt.ping(&wrong);
     let tracer = apt.skelly_mut().machine_mut().tracer_mut();
-    let trap_committed = tracer
-        .events()
-        .iter()
-        .any(|e| matches!(e, ArchEvent::Commit { inst: Inst::Div { .. }, .. }));
-    assert!(!trap_committed, "the trap executes only inside aborted transactions");
+    let trap_committed = tracer.events().iter().any(|e| {
+        matches!(
+            e,
+            ArchEvent::Commit {
+                inst: Inst::Div { .. },
+                ..
+            }
+        )
+    });
+    assert!(
+        !trap_committed,
+        "the trap executes only inside aborted transactions"
+    );
 }
