@@ -1,0 +1,247 @@
+//! Interpreter hot-path throughput: the tracked perf baseline.
+//!
+//! Measures host-side gate-evals/sec and committed-insts/sec for the three
+//! workloads that exercise every layer of the hot path:
+//!
+//! - `bp_and` — the §3.2 branch-predictor AND gate (mispredicted branch,
+//!   speculative window replay)
+//! - `tsx_xor` — the §4 TSX XOR gate (transaction + abort rollback)
+//! - `adder32` — a 32-bit skelly ripple-carry adder (composed weird gates,
+//!   the SHA-1 building block)
+//!
+//! Usage: `hotpath [scale] [--shards N] [--json PATH] [--baseline PATH]`
+//!
+//! With `--baseline PATH` the report embeds a previously written report
+//! and per-workload speedup ratios, so a before/after pair measured by
+//! the same binary documents an optimization (`BENCH_hotpath.json` at the
+//! repo root is maintained this way).
+
+use uwm_bench::harness;
+use uwm_bench::json::Json;
+use uwm_bench::{gate_performance_sharded, maybe_write_json, parse_args, scaled};
+use uwm_core::skelly::Skelly;
+
+/// Input combinations cycled through the two-input gate workloads.
+const INPUTS2: [[bool; 2]; 4] = [[false, false], [false, true], [true, false], [true, true]];
+
+/// Operand pairs cycled through the adder workload.
+const PAIRS: [(u32, u32); 4] = [
+    (0x0123_4567, 0x89AB_CDEF),
+    (0xFFFF_FFFF, 0x0000_0001),
+    (0xDEAD_BEEF, 0x1234_5678),
+    (0x0F0F_0F0F, 0xF0F0_F0F0),
+];
+
+/// One measured workload row.
+struct Workload {
+    name: &'static str,
+    median_ns_per_op: f64,
+    min_ns_per_op: f64,
+    max_ns_per_op: f64,
+    /// Weird-gate executions per benchmarked operation (1 for single-gate
+    /// workloads, ~hundreds for the adder).
+    gate_evals_per_op: f64,
+    committed_insts_per_op: f64,
+}
+
+impl Workload {
+    fn gate_evals_per_sec(&self) -> f64 {
+        self.gate_evals_per_op * 1e9 / self.median_ns_per_op
+    }
+
+    fn insts_per_sec(&self) -> f64 {
+        self.committed_insts_per_op * 1e9 / self.median_ns_per_op
+    }
+
+    fn report_row(&self) -> Json {
+        Json::obj([
+            ("name", Json::Str(self.name.to_owned())),
+            ("median_ns_per_op", Json::Num(self.median_ns_per_op)),
+            ("min_ns_per_op", Json::Num(self.min_ns_per_op)),
+            ("max_ns_per_op", Json::Num(self.max_ns_per_op)),
+            ("gate_evals_per_op", Json::Num(self.gate_evals_per_op)),
+            ("gate_evals_per_sec", Json::Num(self.gate_evals_per_sec())),
+            (
+                "committed_insts_per_op",
+                Json::Num(self.committed_insts_per_op),
+            ),
+            ("committed_insts_per_sec", Json::Num(self.insts_per_sec())),
+        ])
+    }
+}
+
+/// Measures one of the named single-gate workloads on a fresh
+/// default-noise skelly.
+fn gate_workload(name: &'static str, gate: &str, seed: u64, count_ops: u64) -> Workload {
+    let mut sk = Skelly::noisy(seed).expect("skelly builds");
+
+    // Counted pass: committed instructions per gate evaluation.
+    let before = sk.machine().stats().committed_insts;
+    for i in 0..count_ops {
+        let inputs = &INPUTS2[i as usize % INPUTS2.len()];
+        sk.execute_named(gate, inputs).expect("arity matches");
+    }
+    let insts_per_op = (sk.machine().stats().committed_insts - before) as f64 / count_ops as f64;
+
+    // Timed pass.
+    let mut i = 0usize;
+    let m = harness::bench(&format!("hotpath/{name}"), || {
+        let inputs = &INPUTS2[i % INPUTS2.len()];
+        i += 1;
+        sk.execute_named(gate, inputs).expect("arity matches");
+    });
+
+    Workload {
+        name,
+        median_ns_per_op: m.median_ns,
+        min_ns_per_op: m.min_ns,
+        max_ns_per_op: m.max_ns,
+        gate_evals_per_op: 1.0,
+        committed_insts_per_op: insts_per_op,
+    }
+}
+
+/// Measures the 32-bit skelly adder (one op = one `add32`, which executes
+/// a chain of weird gates per bit).
+fn adder_workload(seed: u64, count_ops: u64) -> Workload {
+    let mut sk = Skelly::noisy(seed).expect("skelly builds");
+    let raw_total = |sk: &Skelly| -> u64 { sk.counters().iter().map(|(_, c)| c.raw_total).sum() };
+
+    // Counted pass: gate evaluations and committed instructions per add.
+    let gates_before = raw_total(&sk);
+    let insts_before = sk.machine().stats().committed_insts;
+    for i in 0..count_ops {
+        let (a, b) = PAIRS[i as usize % PAIRS.len()];
+        sk.add32(a, b);
+    }
+    let gates_per_op = (raw_total(&sk) - gates_before) as f64 / count_ops as f64;
+    let insts_per_op =
+        (sk.machine().stats().committed_insts - insts_before) as f64 / count_ops as f64;
+
+    // Timed pass.
+    let mut i = 0usize;
+    let m = harness::bench("hotpath/adder32", || {
+        let (a, b) = PAIRS[i % PAIRS.len()];
+        i += 1;
+        sk.add32(a, b);
+    });
+
+    Workload {
+        name: "adder32",
+        median_ns_per_op: m.median_ns,
+        min_ns_per_op: m.min_ns,
+        max_ns_per_op: m.max_ns,
+        gate_evals_per_op: gates_per_op,
+        committed_insts_per_op: insts_per_op,
+    }
+}
+
+/// Pulls `gate_evals_per_sec` for `name` out of a parsed report.
+fn baseline_rate(doc: &Json, name: &str) -> Option<f64> {
+    doc.get("workloads")?
+        .as_arr()?
+        .iter()
+        .find(|w| w.get("name").and_then(Json::as_str) == Some(name))?
+        .get("gate_evals_per_sec")?
+        .as_f64()
+}
+
+fn main() {
+    let args = parse_args();
+    let seed = 0xCAFE;
+
+    println!(
+        "hotpath: interpreter hot-path throughput (scale {})",
+        args.scale
+    );
+    println!();
+
+    let workloads = [
+        gate_workload("bp_and", "AND", seed, scaled(256, args.scale)),
+        gate_workload("tsx_xor", "TSX_XOR", seed + 1, scaled(256, args.scale)),
+        adder_workload(seed + 2, scaled(8, args.scale)),
+    ];
+
+    // A sharded AND run exercises the per-shard scratch reuse path.
+    let sharded_ops = scaled(16 * uwm_bench::GATE_BATCH_OPS, args.scale);
+    let sharded = gate_performance_sharded("AND", sharded_ops, seed + 3, args.shards);
+
+    println!();
+    println!(
+        "{:<10} {:>16} {:>20} {:>22}",
+        "workload", "ns/op", "gate-evals/sec", "committed-insts/sec"
+    );
+    for w in &workloads {
+        println!(
+            "{:<10} {:>16.0} {:>20.0} {:>22.0}",
+            w.name,
+            w.median_ns_per_op,
+            w.gate_evals_per_sec(),
+            w.insts_per_sec()
+        );
+    }
+    println!(
+        "{:<10} {:>16} {:>20.0} {:>22} ({} shards)",
+        "sharded",
+        "-",
+        sharded.run.execs_per_sec(),
+        "-",
+        sharded.shards
+    );
+
+    let mut report = vec![
+        ("bench", Json::Str("hotpath".to_owned())),
+        ("scale", Json::Num(args.scale)),
+        ("shards", Json::UInt(args.shards as u64)),
+        (
+            "workloads",
+            Json::Arr(workloads.iter().map(Workload::report_row).collect()),
+        ),
+        (
+            "sharded",
+            Json::obj([
+                ("gate", Json::Str("AND".to_owned())),
+                ("ops", Json::UInt(sharded.run.ops)),
+                ("shards", Json::UInt(sharded.shards as u64)),
+                ("evals_per_sec", Json::Num(sharded.run.execs_per_sec())),
+            ]),
+        ),
+    ];
+
+    if let Some(path) = &args.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!();
+        let mut speedups = Vec::new();
+        for w in &workloads {
+            let Some(base) = baseline_rate(&doc, w.name) else {
+                eprintln!("warning: baseline has no workload {:?}", w.name);
+                continue;
+            };
+            let ratio = w.gate_evals_per_sec() / base;
+            println!("{:<10} speedup vs baseline: {ratio:.2}x", w.name);
+            speedups.push((w.name, Json::Num(ratio)));
+        }
+        if let Some(min) = speedups
+            .iter()
+            .filter_map(|(_, j)| j.as_f64())
+            .min_by(f64::total_cmp)
+        {
+            println!("{:<10} speedup vs baseline: {min:.2}x", "min");
+            speedups.push(("min", Json::Num(min)));
+        }
+        report.push(("speedup", Json::obj(speedups)));
+        report.push(("baseline", doc));
+    }
+
+    maybe_write_json(
+        &args,
+        &Json::Obj(report.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
+    );
+}

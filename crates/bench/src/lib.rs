@@ -54,22 +54,27 @@ pub struct BenchArgs {
     pub shards: usize,
     /// Destination for a machine-readable report (`--json PATH`).
     pub json: Option<std::path::PathBuf>,
+    /// A previously written report to compare against (`--baseline PATH`;
+    /// used by `hotpath` to compute speedup ratios).
+    pub baseline: Option<std::path::PathBuf>,
 }
 
-/// Parses `[scale] [--shards N] [--json PATH]` from the process args.
+/// Parses `[scale] [--shards N] [--json PATH] [--baseline PATH]` from the
+/// process args.
 ///
 /// Prints a usage message to stderr and exits with status 2 on malformed
 /// arguments.
 pub fn parse_args() -> BenchArgs {
     fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: [scale] [--shards N] [--json PATH]");
+        eprintln!("usage: [scale] [--shards N] [--json PATH] [--baseline PATH]");
         std::process::exit(2);
     }
     let mut out = BenchArgs {
         scale: 1.0,
         shards: 1,
         json: None,
+        baseline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,6 +96,13 @@ pub fn parse_args() -> BenchArgs {
                 usage("--json takes a path");
             };
             out.json = Some(v.into());
+        } else if let Some(v) = a.strip_prefix("--baseline=") {
+            out.baseline = Some(v.into());
+        } else if a == "--baseline" {
+            let Some(v) = args.next() else {
+                usage("--baseline takes a path");
+            };
+            out.baseline = Some(v.into());
         } else {
             out.scale = a
                 .parse()
@@ -251,23 +263,26 @@ pub fn gate_performance_sharded(name: &str, ops: u64, seed: u64, shards: usize) 
     let exec = ShardedExecutor::new(shards);
     let batches = ops.div_ceil(GATE_BATCH_OPS).max(1) as usize;
     let start = Instant::now();
-    let parts = exec.run(batches, |i| {
+    // Per-shard scratch: the input buffer survives across a worker's
+    // batches; its contents are fully overwritten before each use.
+    let parts = exec.run_with(batches, Vec::new, |i, inputs: &mut Vec<bool>| {
         let done = i as u64 * GATE_BATCH_OPS;
         let batch_ops = GATE_BATCH_OPS.min(ops - done);
         let mut sk = spec.instantiate(MachineConfig::default(), batch_seed(seed, i));
         let mut rng = StdRng::seed_from_u64(batch_seed(seed ^ 0xBEEF, i));
         let arity = sk.arity_named(name);
-        let mut inputs = vec![false; arity];
+        inputs.clear();
+        inputs.resize(arity, false);
         let aborts_before = sk.machine().stats().tx_spurious_aborts;
         let cycles_before = sk.machine().cycles();
         let mut correct = 0u64;
         let mut delays = Vec::with_capacity(batch_ops as usize);
         for _ in 0..batch_ops {
-            for b in &mut inputs {
+            for b in inputs.iter_mut() {
                 *b = rng.gen();
             }
-            let r = sk.execute_named(name, &inputs).expect("arity matches");
-            if r.bit == sk.truth_named(name, &inputs) {
+            let r = sk.execute_named(name, inputs).expect("arity matches");
+            if r.bit == sk.truth_named(name, inputs) {
                 correct += 1;
             }
             delays.push(r.delay);

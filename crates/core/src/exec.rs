@@ -137,6 +137,54 @@ impl ShardedExecutor {
         }
         acc
     }
+
+    /// Like [`ShardedExecutor::run`], but each worker thread carries a
+    /// scratch value built once by `init` and passed to every batch it
+    /// runs — reusable buffers (input vectors, delay accumulators) survive
+    /// across a shard's batches instead of being reallocated per batch.
+    ///
+    /// The determinism contract is unchanged *provided the scratch is
+    /// state-free between batches*: `work` must produce the same result
+    /// for a given batch index whether its scratch is fresh or reused
+    /// (clearing, not trusting, any carried contents).
+    pub fn run_with<S, R, F, G>(&self, batches: usize, init: G, work: F) -> Vec<R>
+    where
+        R: Send,
+        G: Fn() -> S + Sync,
+        F: Fn(usize, &mut S) -> R + Sync,
+    {
+        if self.shards == 1 || batches <= 1 {
+            let mut scratch = init();
+            return (0..batches).map(|i| work(i, &mut scratch)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(batches));
+        std::thread::scope(|scope| {
+            for _ in 0..self.shards.min(batches) {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= batches {
+                            break;
+                        }
+                        local.push((idx, work(idx, &mut scratch)));
+                    }
+                    results
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .extend(local);
+                });
+            }
+        });
+        let mut out = results
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        out.sort_by_key(|(idx, _)| *idx);
+        debug_assert_eq!(out.len(), batches);
+        out.into_iter().map(|(_, r)| r).collect()
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +225,23 @@ mod tests {
         let exec = ShardedExecutor::new(4);
         let total = exec.run_fold(10, |i| i as u64, 0u64, |a, r| a * 10 + r);
         assert_eq!(total, 123_456_789); // 0,1,2,...,9 folded positionally
+    }
+
+    #[test]
+    fn run_with_reuses_scratch_and_stays_deterministic() {
+        let work = |i: usize, buf: &mut Vec<u64>| {
+            buf.clear(); // hermetic: never trust carried contents
+            buf.extend((0..4).map(|j| batch_seed(9, i) ^ j));
+            buf.iter().copied().fold(0u64, u64::wrapping_add)
+        };
+        let one = ShardedExecutor::new(1).run_with(32, Vec::new, work);
+        for shards in [2, 3, 8] {
+            assert_eq!(
+                ShardedExecutor::new(shards).run_with(32, Vec::new, work),
+                one
+            );
+        }
+        assert_eq!(one.len(), 32);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use super::Substrate;
 use uwm_sim::isa::{brz_target, AluOp, Inst, Operand, Program, Reg, INST_SIZE, NUM_REGS};
 use uwm_sim::machine::{FaultCause, RunOutcome};
 use uwm_sim::memory::Memory;
+use uwm_sim::predecode::CodeCache;
 use uwm_sim::timing::LatencyConfig;
 
 /// Alias stride matching the default simulator predictor (1024 entries ×
@@ -51,6 +52,7 @@ pub struct FlatEmulator {
     regs: [u64; NUM_REGS],
     mem: Memory,
     program: Program,
+    code: CodeCache,
     cycles: u64,
     tx: Option<FlatTx>,
     step_limit: u64,
@@ -78,6 +80,7 @@ impl FlatEmulator {
             regs: [0; NUM_REGS],
             mem: Memory::new(),
             program: Program::new(),
+            code: CodeCache::new(),
             cycles: 0,
             tx: None,
             step_limit: 10_000_000,
@@ -103,6 +106,7 @@ impl FlatEmulator {
             tx.undo_log.push((addr, self.mem.read_u64(addr)));
         }
         self.mem.write_u64(addr, value);
+        self.code.invalidate_bytes(addr, 8); // self-modifying code
     }
 
     /// Rolls the active transaction back: registers restored, stores
@@ -114,18 +118,26 @@ impl FlatEmulator {
         self.regs = tx.saved_regs;
         for &(addr, old) in tx.undo_log.iter().rev() {
             self.mem.write_u64(addr, old);
+            self.code.invalidate_bytes(addr, 8);
         }
         self.cycles += self.lat.xabort;
         tx.handler
     }
 
-    fn fetch(&self, pc: u64) -> Inst {
-        if let Some(i) = self.program.get(pc) {
+    /// Fetches via the predecode cache, falling back to the program map
+    /// and then to decoding simulated memory (same contract as the
+    /// microarchitectural machine's fetch).
+    fn fetch(&mut self, pc: u64) -> Inst {
+        if let Some(i) = self.code.lookup(pc) {
             return i;
         }
-        let bytes = self.mem.read_bytes(pc, INST_SIZE as usize);
-        let arr: [u8; INST_SIZE as usize] = bytes.try_into().expect("INST_SIZE bytes");
-        Inst::decode(&arr)
+        if let Some(i) = self.program.get(pc) {
+            self.code.install_static(pc, i);
+            return i;
+        }
+        let inst = Inst::decode(&self.mem.read_array(pc));
+        self.code.install_dynamic(pc, inst);
+        inst
     }
 
     /// Executes one instruction; `Ok(Some(next_pc))` continues, `Ok(None)`
@@ -270,9 +282,19 @@ impl Substrate for FlatEmulator {
 
     fn install_program(&mut self, program: Program) {
         self.program.merge(program);
+        self.code.rebuild(&self.program);
     }
 
-    fn warm_code_range(&mut self, _base: u64, _end: u64) {}
+    fn warm_code_range(&mut self, base: u64, end: u64) {
+        // No caches to warm, but predecode the range (no timing effect).
+        let mut pc = base - base % INST_SIZE;
+        while pc < end {
+            if self.code.lookup(pc).is_none() {
+                self.fetch(pc);
+            }
+            pc += INST_SIZE;
+        }
+    }
 
     fn run_at(&mut self, mut pc: u64) -> RunOutcome {
         let mut steps = 0u64;
@@ -327,6 +349,7 @@ impl Substrate for FlatEmulator {
 
     fn write_word(&mut self, addr: u64, value: u64) {
         self.mem.write_u64(addr, value);
+        self.code.invalidate_bytes(addr, 8);
     }
 
     fn read_word(&self, addr: u64) -> u64 {

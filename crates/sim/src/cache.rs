@@ -85,12 +85,19 @@ impl CacheConfig {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    /// `tags[set][way]`: cached line index, or `None` when invalid.
-    tags: Vec<Vec<Option<u64>>>,
+    /// `tags[set * ways + way]`: cached line index, or [`INVALID_TAG`]
+    /// when empty. Flat (not `Vec<Vec<_>>`) and sentinel-coded rather
+    /// than `Option<u64>`, so a set is a dense run of eight bytes per
+    /// way — half the footprint, which matters for the L3's 64 K tags.
+    tags: Box<[u64]>,
     repl: Vec<SetState>,
     hits: u64,
     misses: u64,
 }
+
+/// Sentinel for an empty way. Unreachable as a real line index: line
+/// indices are byte addresses shifted right by [`LINE_SHIFT`].
+const INVALID_TAG: u64 = u64::MAX;
 
 impl Cache {
     /// Creates an empty cache. `seed` only matters for [`Policy::Random`].
@@ -109,7 +116,7 @@ impl Cache {
         }
         assert!(cfg.ways >= 1, "cache needs at least one way");
         Self {
-            tags: vec![vec![None; cfg.ways]; cfg.sets],
+            tags: vec![INVALID_TAG; cfg.ways * cfg.sets].into_boxed_slice(),
             repl: (0..cfg.sets)
                 .map(|s| {
                     SetState::new(
@@ -135,6 +142,13 @@ impl Cache {
         (line as usize) & (self.cfg.sets - 1)
     }
 
+    /// The flat-tag range of the set containing `line`.
+    #[inline]
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let base = self.set_of(line) * self.cfg.ways;
+        base..base + self.cfg.ways
+    }
+
     /// Accesses the line containing `addr`: returns `true` on hit. On miss
     /// the line is filled, possibly evicting a victim (returned by
     /// [`Cache::access_evicting`]). Updates replacement and hit statistics.
@@ -146,7 +160,8 @@ impl Cache {
     pub fn access_evicting(&mut self, addr: u64) -> (bool, Option<u64>) {
         let line = line_of(addr);
         let set = self.set_of(line);
-        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(line)) {
+        let ways = &self.tags[self.set_range(line)];
+        if let Some(way) = ways.iter().position(|&t| t == line) {
             self.repl[set].touch(way, self.cfg.ways);
             self.hits += 1;
             return (true, None);
@@ -161,7 +176,8 @@ impl Cache {
     pub fn fill(&mut self, addr: u64) -> Option<u64> {
         let line = line_of(addr);
         let set = self.set_of(line);
-        if let Some(way) = self.tags[set].iter().position(|&t| t == Some(line)) {
+        let ways = &self.tags[self.set_range(line)];
+        if let Some(way) = ways.iter().position(|&t| t == line) {
             self.repl[set].touch(way, self.cfg.ways);
             return None;
         }
@@ -170,14 +186,18 @@ impl Cache {
 
     fn fill_line(&mut self, line: u64) -> Option<u64> {
         let set = self.set_of(line);
-        let (way, evicted) = match self.tags[set].iter().position(|t| t.is_none()) {
+        let range = self.set_range(line);
+        let (way, evicted) = match self.tags[range.clone()]
+            .iter()
+            .position(|&t| t == INVALID_TAG)
+        {
             Some(empty) => (empty, None),
             None => {
                 let victim = self.repl[set].victim(self.cfg.ways);
-                (victim, self.tags[set][victim])
+                (victim, Some(self.tags[range.start + victim]))
             }
         };
-        self.tags[set][way] = Some(line);
+        self.tags[range.start + way] = line;
         self.repl[set].touch(way, self.cfg.ways);
         evicted
     }
@@ -186,28 +206,23 @@ impl Cache {
     /// statistics. This is the "omniscient analyzer" view used by tests.
     pub fn contains(&self, addr: u64) -> bool {
         let line = line_of(addr);
-        let set = self.set_of(line);
-        self.tags[set].contains(&Some(line))
+        self.tags[self.set_range(line)].contains(&line)
     }
 
     /// Removes `addr`'s line if present (this level only).
     pub fn invalidate(&mut self, addr: u64) {
         let line = line_of(addr);
-        let set = self.set_of(line);
-        for t in &mut self.tags[set] {
-            if *t == Some(line) {
-                *t = None;
+        let range = self.set_range(line);
+        for t in &mut self.tags[range] {
+            if *t == line {
+                *t = INVALID_TAG;
             }
         }
     }
 
     /// Empties the cache entirely.
     pub fn flush_all(&mut self) {
-        for set in &mut self.tags {
-            for t in set {
-                *t = None;
-            }
-        }
+        self.tags.fill(INVALID_TAG);
     }
 
     /// `(hits, misses)` counted by [`Cache::access`].
@@ -217,10 +232,7 @@ impl Cache {
 
     /// Number of valid lines currently cached.
     pub fn occupancy(&self) -> usize {
-        self.tags
-            .iter()
-            .map(|s| s.iter().filter(|t| t.is_some()).count())
-            .sum()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 }
 

@@ -1,0 +1,88 @@
+//! A minimal integer-keyed hash map configuration for hot paths.
+//!
+//! The simulator's page tables ([`crate::memory`], [`crate::predecode`])
+//! are keyed by small integers and probed on every simulated memory
+//! access. The standard library's default SipHash is DoS-resistant but
+//! costs more than the rest of the lookup combined; these tables hold
+//! simulator-internal keys (page numbers), so a fast multiply hash is
+//! safe and measurably cheaper.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fibonacci-style multiply hasher for integer keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntHasher {
+    state: u64,
+}
+
+/// Odd multiplier with good high-bit avalanche (2^64 / phi).
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for IntHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (composite keys): fold bytes in word-sized
+        // chunks through the same multiply.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        // Multiply then rotate so low-bit table indexing sees high bits.
+        self.state = (self.state ^ i).wrapping_mul(K).rotate_left(26);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `HashMap` wired to [`IntHasher`].
+pub type IntMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<IntHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: IntMap<u64, u32> = IntMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&(i as u32)));
+        }
+        assert_eq!(m.get(&1), None);
+    }
+
+    #[test]
+    fn hash_spreads_page_numbers() {
+        // Consecutive page numbers must not collide in the low bits the
+        // table actually uses.
+        use std::collections::HashSet;
+        let lows: HashSet<u64> = (0..64u64)
+            .map(|p| {
+                let mut h = IntHasher::default();
+                h.write_u64(p);
+                h.finish() & 63
+            })
+            .collect();
+        assert!(lows.len() > 32, "low bits too clustered: {}", lows.len());
+    }
+}

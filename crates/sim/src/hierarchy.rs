@@ -106,26 +106,13 @@ impl Hierarchy {
         if self.l2.access(addr) {
             return HitLevel::L2;
         }
+        // The L2/L3 `access` calls above already filled the line on miss;
+        // inclusivity holds because every fill propagates down the path.
         if self.l3.access(addr) {
-            self.maintain_inclusion_after_l2_fill(addr);
             return HitLevel::L3;
         }
-        self.maintain_inclusion_after_l2_fill(addr);
-        self.maintain_inclusion_after_l3_fill(addr);
         HitLevel::Mem
     }
-
-    /// The L2/L3 `access` calls above already filled the line on miss; this
-    /// enforces inclusivity by back-invalidating L1/L2 copies of any line
-    /// the fill evicted.
-    fn maintain_inclusion_after_l2_fill(&mut self, _addr: u64) {
-        // L2 evictions back-invalidate L1 in a strictly inclusive design.
-        // Cache::access already performed the fill; we conservatively
-        // re-check inclusion lazily in `fill_evictions` below. Kept as a
-        // named hook so the eviction flow is explicit.
-    }
-
-    fn maintain_inclusion_after_l3_fill(&mut self, _addr: u64) {}
 
     /// Peeks (without side effects) at which level `addr` would hit.
     pub fn probe_data(&self, addr: u64) -> HitLevel {

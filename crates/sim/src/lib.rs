@@ -42,10 +42,12 @@
 pub mod branch;
 pub mod cache;
 pub mod contention;
+pub mod fxmap;
 pub mod hierarchy;
 pub mod isa;
 pub mod machine;
 pub mod memory;
+pub mod predecode;
 pub mod replacement;
 pub mod timing;
 pub mod trace;
@@ -60,6 +62,7 @@ pub mod prelude {
         ExecutionModel, FaultCause, Machine, MachineConfig, MachineStats, RunOutcome,
     };
     pub use crate::memory::Memory;
+    pub use crate::predecode::CodeCache;
     pub use crate::timing::{LatencyConfig, NoiseConfig};
     pub use crate::trace::{ArchEvent, Tracer};
 }

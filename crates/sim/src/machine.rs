@@ -18,6 +18,7 @@ use crate::contention::Contention;
 use crate::hierarchy::{Hierarchy, HierarchyConfig, HitLevel};
 use crate::isa::{brz_target, AluOp, Inst, Operand, Program, Reg, INST_SIZE, NUM_REGS};
 use crate::memory::Memory;
+use crate::predecode::CodeCache;
 use crate::timing::{LatencyConfig, NoiseConfig, NoiseGen};
 use crate::trace::{ArchEvent, Tracer};
 
@@ -37,7 +38,7 @@ pub enum ExecutionModel {
 }
 
 /// Machine construction parameters.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MachineConfig {
     /// Operation latencies.
     pub latency: LatencyConfig,
@@ -49,6 +50,23 @@ pub struct MachineConfig {
     pub predictor: PredictorKind,
     /// Execution model.
     pub model: ExecutionModel,
+    /// Serve fetches from the predecoded instruction cache (host-side
+    /// fast path; never affects timing or decoding — kept as a switch so
+    /// tests can prove equivalence against the slow path).
+    pub predecode: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyConfig::default(),
+            noise: NoiseConfig::default(),
+            hierarchy: HierarchyConfig::default(),
+            predictor: PredictorKind::default(),
+            model: ExecutionModel::default(),
+            predecode: true,
+        }
+    }
 }
 
 impl MachineConfig {
@@ -129,10 +147,65 @@ pub struct MachineStats {
 struct TxState {
     handler: u64,
     saved_regs: [u64; NUM_REGS],
-    /// `(addr, previous value)` undo log for 64-bit stores.
+    /// `(addr, previous value)` undo log for 64-bit stores. The backing
+    /// allocation is recycled through [`Machine::undo_pool`] so steady-state
+    /// transactions allocate nothing.
     undo_log: Vec<(u64, u64)>,
     /// This transaction was doomed at `Xbegin` by the noise model.
     doomed: bool,
+}
+
+/// Inline capacity of [`InflightTable`]; speculative windows track at most
+/// a handful of distinct lines, so spilling is rare.
+const INFLIGHT_INLINE: usize = 8;
+
+/// In-flight line fills of one speculative window: `(is_inst, line)` →
+/// data-ready time. A fixed-capacity linear-scan table (plus an overflow
+/// vector that keeps its allocation across windows) — windows touch so few
+/// lines that scanning beats hashing, and reuse makes it allocation-free.
+#[derive(Debug, Clone, Default)]
+struct InflightTable {
+    len: usize,
+    keys: [(bool, u64); INFLIGHT_INLINE],
+    done: [u64; INFLIGHT_INLINE],
+    spill: Vec<((bool, u64), u64)>,
+}
+
+impl InflightTable {
+    fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    fn get(&self, key: (bool, u64)) -> Option<u64> {
+        for i in 0..self.len {
+            if self.keys[i] == key {
+                return Some(self.done[i]);
+            }
+        }
+        self.spill.iter().find(|(k, _)| *k == key).map(|&(_, d)| d)
+    }
+
+    /// Inserts a key the caller has already checked is absent.
+    fn insert(&mut self, key: (bool, u64), done: u64) {
+        if self.len < INFLIGHT_INLINE {
+            self.keys[self.len] = key;
+            self.done[self.len] = done;
+            self.len += 1;
+        } else {
+            self.spill.push((key, done));
+        }
+    }
+}
+
+/// Reusable speculative-window scratch owned by the machine, so opening a
+/// window allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+struct SpecScratch {
+    /// Store buffer: `(addr, value, value-ready time)`.
+    store_buf: Vec<(u64, u64, u64)>,
+    /// In-flight line fills.
+    inflight: InflightTable,
 }
 
 /// The simulated CPU.
@@ -164,10 +237,13 @@ pub struct Machine {
     noise: NoiseGen,
     tracer: Tracer,
     program: Program,
+    code: CodeCache,
     cycles: u64,
     tx: Option<TxState>,
     stats: MachineStats,
     step_limit: u64,
+    spec_scratch: SpecScratch,
+    undo_pool: Vec<(u64, u64)>,
 }
 
 impl Machine {
@@ -183,10 +259,13 @@ impl Machine {
             noise: NoiseGen::new(cfg.noise.clone(), seed),
             tracer: Tracer::disabled(),
             program: Program::new(),
+            code: CodeCache::new(),
             cycles: 0,
             tx: None,
             stats: MachineStats::default(),
             step_limit: 10_000_000,
+            spec_scratch: SpecScratch::default(),
+            undo_pool: Vec::new(),
             cfg,
         }
     }
@@ -200,14 +279,16 @@ impl Machine {
     // Program and memory management
     // ------------------------------------------------------------------
 
-    /// Replaces the loaded program.
+    /// Replaces the loaded program and predecodes it.
     pub fn load_program(&mut self, program: Program) {
         self.program = program;
+        self.code.rebuild(&self.program);
     }
 
-    /// Merges additional code into the loaded program.
+    /// Merges additional code into the loaded program and repredecodes.
     pub fn add_program(&mut self, program: Program) {
         self.program.merge(program);
+        self.code.rebuild(&self.program);
     }
 
     /// The loaded static program.
@@ -220,8 +301,12 @@ impl Machine {
         &self.mem
     }
 
-    /// Mutable direct memory access (no MA effects).
+    /// Mutable direct memory access (no MA effects). Writes through this
+    /// handle cannot be intercepted per address, so dynamically decoded
+    /// instructions are dropped from the predecode cache before the next
+    /// fetch trusts it.
     pub fn mem_mut(&mut self) -> &mut Memory {
+        self.code.mark_external_dirty();
         &mut self.mem
     }
 
@@ -337,6 +422,18 @@ impl Machine {
             self.touch_code(line);
             line += crate::cache::LINE_SIZE;
         }
+        // Predecode the range too (no timing effect): freshly assembled
+        // stubs are typically executed right after warming.
+        if self.cfg.predecode {
+            self.code.sync_external();
+            let mut pc = base - base % INST_SIZE;
+            while pc < end {
+                if self.code.lookup(pc).is_none() {
+                    self.fetch_slow(pc);
+                }
+                pc += INST_SIZE;
+            }
+        }
     }
 
     /// Resets MA state only: caches, predictors, contention. Architectural
@@ -387,22 +484,38 @@ impl Machine {
     // Execution
     // ------------------------------------------------------------------
 
-    /// Fetches the instruction at `pc`: from the static program if present,
-    /// otherwise decoded from simulated memory (dynamically written code).
-    fn fetch_inst(&self, pc: u64) -> Inst {
-        if let Some(i) = self.program.get(pc) {
-            return i;
+    /// Fetches the instruction at `pc`: from the predecode cache when
+    /// possible, otherwise from the static program if present, otherwise
+    /// decoded from simulated memory (dynamically written code).
+    fn fetch_inst(&mut self, pc: u64) -> Inst {
+        if self.cfg.predecode {
+            self.code.sync_external();
+            if let Some(i) = self.code.lookup(pc) {
+                return i;
+            }
         }
-        let bytes = self.mem.read_bytes(pc, INST_SIZE as usize);
-        let arr: [u8; INST_SIZE as usize] = bytes.try_into().expect("INST_SIZE bytes");
-        Inst::decode(&arr)
+        self.fetch_slow(pc)
     }
 
-    fn operand(&self, regs: &[u64; NUM_REGS], op: Operand) -> u64 {
-        match op {
-            Operand::Reg(r) => regs[r as usize],
-            Operand::Imm(i) => i as u64,
+    /// Slow-path fetch: consults the program map, then decodes memory
+    /// bytes; installs the result into the predecode cache when enabled.
+    fn fetch_slow(&mut self, pc: u64) -> Inst {
+        if let Some(i) = self.program.get(pc) {
+            if self.cfg.predecode {
+                self.code.install_static(pc, i);
+            }
+            return i;
         }
+        let inst = Inst::decode(&self.mem.read_array(pc));
+        if self.cfg.predecode {
+            self.code.install_dynamic(pc, inst);
+        }
+        inst
+    }
+
+    #[inline]
+    fn operand(&self, op: Operand) -> u64 {
+        operand_in(&self.regs, op)
     }
 
     fn alu_eval(op: AluOp, a: u64, b: u64) -> u64 {
@@ -464,21 +577,19 @@ impl Machine {
                 StepResult::Halted
             }
             Inst::Mov { dst, src } => {
-                let v = self.operand(&self.regs.clone(), src);
+                let v = self.operand(src);
                 self.cycles += lat.alu;
                 self.write_reg(dst, v);
                 StepResult::Continue(next)
             }
             Inst::Alu { op, dst, a, b } => {
-                let regs = self.regs;
-                let v = Self::alu_eval(op, regs[a as usize], self.operand(&regs, b));
+                let v = Self::alu_eval(op, self.regs[a as usize], self.operand(b));
                 self.cycles += lat.alu;
                 self.write_reg(dst, v);
                 StepResult::Continue(next)
             }
             Inst::Mul { dst, a, b } => {
-                let regs = self.regs;
-                let v = regs[a as usize].wrapping_mul(self.operand(&regs, b));
+                let v = self.regs[a as usize].wrapping_mul(self.operand(b));
                 if self.cfg.model == ExecutionModel::Microarchitectural {
                     let delay = self.contention.mul_delay(self.cycles);
                     self.cycles += lat.mul + delay;
@@ -491,13 +602,13 @@ impl Machine {
                 StepResult::Continue(next)
             }
             Inst::Div { dst, a, b } => {
-                let regs = self.regs;
-                let divisor = self.operand(&regs, b);
+                let divisor = self.operand(b);
                 if divisor == 0 {
                     return StepResult::Fault(FaultCause::DivByZero);
                 }
                 self.cycles += lat.div;
-                self.write_reg(dst, regs[a as usize] / divisor);
+                let v = self.regs[a as usize] / divisor;
+                self.write_reg(dst, v);
                 StepResult::Continue(next)
             }
             Inst::Load { dst, addr } => {
@@ -573,7 +684,7 @@ impl Machine {
                 self.tx = Some(TxState {
                     handler: handler as u64,
                     saved_regs: self.regs,
-                    undo_log: Vec::new(),
+                    undo_log: std::mem::take(&mut self.undo_pool),
                     doomed,
                 });
                 self.tracer.begin_tx();
@@ -589,6 +700,7 @@ impl Machine {
                     }
                     self.cycles += lat.xend;
                     self.tracer.commit_tx();
+                    self.recycle_undo_log(tx.undo_log);
                     StepResult::Continue(next)
                 }
                 None => StepResult::Fault(FaultCause::TxMisuse),
@@ -638,6 +750,7 @@ impl Machine {
             tx.undo_log.push((addr, self.mem.read_u64(addr)));
         }
         self.mem.write_u64(addr, value);
+        self.code.invalidate_bytes(addr, 8); // self-modifying code
         self.tracer.record(ArchEvent::MemWrite { addr, value });
     }
 
@@ -724,11 +837,20 @@ impl Machine {
     /// Architectural effects (register/memory writes) are sandboxed in a
     /// speculative register file and store buffer and discarded.
     fn speculate(&mut self, start_pc: u64, window: u64) {
-        /// Source ready-time for values that never arrive.
-        const NEVER: u64 = u64::MAX / 2;
         if window == 0 {
             return;
         }
+        // Move the reusable scratch out of `self` so the window body can
+        // borrow the machine mutably alongside it; restore it afterwards.
+        let mut scratch = std::mem::take(&mut self.spec_scratch);
+        self.speculate_with(start_pc, window, &mut scratch);
+        self.spec_scratch = scratch;
+    }
+
+    /// [`Machine::speculate`]'s body, with the window scratch passed in.
+    fn speculate_with(&mut self, start_pc: u64, window: u64, scratch: &mut SpecScratch) {
+        /// Source ready-time for values that never arrive.
+        const NEVER: u64 = u64::MAX / 2;
         let lat = self.cfg.latency.clone();
         let mut pc = start_pc;
         // Front-end clock (cycles since the window opened).
@@ -736,11 +858,8 @@ impl Machine {
         // Speculative register file: value + ready time.
         let mut vals = self.regs;
         let mut ready = [0u64; NUM_REGS];
-        // Store buffer: (addr, value, value-ready time).
-        let mut store_buf: Vec<(u64, u64, u64)> = Vec::new();
-        // In-flight line fills: (is_inst, line) -> data-ready time.
-        let mut inflight: std::collections::HashMap<(bool, u64), u64> =
-            std::collections::HashMap::new();
+        scratch.store_buf.clear();
+        scratch.inflight.clear();
 
         // Issues a cache access at `start` if it fits the window. Returns
         // the data-ready time, or `None` if the access could not issue.
@@ -752,22 +871,20 @@ impl Machine {
                 } else {
                     let addr: u64 = $addr;
                     let key = ($is_inst, crate::cache::line_of(addr));
-                    if let Some(&done) = inflight.get(&key) {
+                    if let Some(done) = scratch.inflight.get(key) {
                         Some(done.max(start + lat.l1))
                     } else {
+                        // `access_*` reports the level that satisfied the
+                        // access (pre-fill) and fills on the way — one
+                        // hierarchy walk where probe-then-access took two.
                         let level = if $is_inst {
-                            $self.hier.probe_inst(addr)
+                            $self.hier.access_inst(addr)
                         } else {
-                            $self.hier.probe_data(addr)
+                            $self.hier.access_data(addr)
                         };
                         let l = $self.level_latency(level) + $self.noise.mem_jitter();
-                        if $is_inst {
-                            $self.hier.access_inst(addr);
-                        } else {
-                            $self.hier.access_data(addr);
-                        }
                         let done = start + l;
-                        inflight.insert(key, done);
+                        scratch.inflight.insert(key, done);
                         Some(done)
                     }
                 }
@@ -803,7 +920,7 @@ impl Machine {
                 Inst::Mov { dst, src } => {
                     let start = dispatch.max(op_ready(src, &ready));
                     if start <= window {
-                        vals[dst as usize] = self.operand(&vals, src);
+                        vals[dst as usize] = operand_in(&vals, src);
                         ready[dst as usize] = start + lat.alu;
                     } else {
                         ready[dst as usize] = NEVER;
@@ -814,7 +931,7 @@ impl Machine {
                     let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
                     if start <= window {
                         vals[dst as usize] =
-                            Self::alu_eval(op, vals[a as usize], self.operand(&vals, b));
+                            Self::alu_eval(op, vals[a as usize], operand_in(&vals, b));
                         ready[dst as usize] = start + lat.alu;
                     } else {
                         ready[dst as usize] = NEVER;
@@ -825,7 +942,7 @@ impl Machine {
                     let start = dispatch.max(src_ready(a, &ready)).max(op_ready(b, &ready));
                     if start <= window {
                         let delay = self.contention.mul_delay(self.cycles + start);
-                        vals[dst as usize] = vals[a as usize].wrapping_mul(self.operand(&vals, b));
+                        vals[dst as usize] = vals[a as usize].wrapping_mul(operand_in(&vals, b));
                         ready[dst as usize] = start + lat.mul + delay;
                         self.contention
                             .pressure_mul(crate::contention::MUL_OCCUPANCY, self.cycles + start);
@@ -841,7 +958,7 @@ impl Machine {
                         pc = next;
                         continue;
                     }
-                    let divisor = self.operand(&vals, b);
+                    let divisor = operand_in(&vals, b);
                     if divisor == 0 {
                         return; // nested speculative fault squashes the rest
                     }
@@ -857,7 +974,7 @@ impl Machine {
                         window,
                         &mut vals,
                         &mut ready,
-                        &store_buf,
+                        &scratch.store_buf,
                         |m, a, s| line_access!(m, a, s, false),
                     );
                     pc = next;
@@ -877,7 +994,7 @@ impl Machine {
                         window,
                         &mut vals,
                         &mut ready,
-                        &store_buf,
+                        &scratch.store_buf,
                         |m, a, s| line_access!(m, a, s, false),
                     );
                     pc = next;
@@ -887,7 +1004,7 @@ impl Machine {
                     // fits the window.
                     let _ = line_access!(self, addr as u64, dispatch, false);
                     if dispatch <= window {
-                        store_buf.push((
+                        scratch.store_buf.push((
                             addr as u64,
                             vals[src as usize],
                             dispatch.max(src_ready(src, &ready)),
@@ -900,7 +1017,7 @@ impl Machine {
                     if start <= window {
                         let addr = vals[base as usize].wrapping_add(offset as u64);
                         let _ = line_access!(self, addr, start, false);
-                        store_buf.push((
+                        scratch.store_buf.push((
                             addr,
                             vals[src as usize],
                             start.max(src_ready(src, &ready)),
@@ -1023,7 +1140,9 @@ impl Machine {
         self.regs = tx.saved_regs;
         for &(addr, old) in tx.undo_log.iter().rev() {
             self.mem.write_u64(addr, old);
+            self.code.invalidate_bytes(addr, 8);
         }
+        self.recycle_undo_log(tx.undo_log);
         self.cycles += self.cfg.latency.xabort;
         self.stats.tx_aborted += 1;
         if spurious {
@@ -1031,6 +1150,22 @@ impl Machine {
         }
         self.tracer.abort_tx(tx.handler);
         tx.handler
+    }
+
+    /// Returns a transaction's undo log to the pool for the next `Xbegin`.
+    fn recycle_undo_log(&mut self, mut log: Vec<(u64, u64)>) {
+        log.clear();
+        self.undo_pool = log;
+    }
+}
+
+/// Reads an operand out of a register file (the committed one or a
+/// speculative sandbox) without copying the file.
+#[inline]
+fn operand_in(regs: &[u64; NUM_REGS], op: Operand) -> u64 {
+    match op {
+        Operand::Reg(r) => regs[r as usize],
+        Operand::Imm(i) => i as u64,
     }
 }
 

@@ -1,6 +1,6 @@
 //! Sparse byte-addressable simulated memory.
 
-use std::collections::HashMap;
+use crate::fxmap::IntMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -18,7 +18,7 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: IntMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
 impl Memory {
@@ -46,18 +46,43 @@ impl Memory {
 
     /// Reads a little-endian u64 (may straddle pages).
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut bytes = [0u8; 8];
-        for (i, b) in bytes.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
-        }
-        u64::from_le_bytes(bytes)
+        u64::from_le_bytes(self.read_array(addr))
     }
 
     /// Writes a little-endian u64.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        for (i, b) in value.to_le_bytes().iter().enumerate() {
+        let bytes = value.to_le_bytes();
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + bytes.len() <= PAGE_SIZE {
+            // Within one page: a single page lookup instead of one per byte.
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            page[off..off + bytes.len()].copy_from_slice(&bytes);
+            return;
+        }
+        for (i, b) in bytes.iter().enumerate() {
             self.write_u8(addr + i as u64, *b);
         }
+    }
+
+    /// Reads `N` bytes starting at `addr` without allocating — the
+    /// instruction-fetch path.
+    pub fn read_array<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off + N <= PAGE_SIZE {
+            // Within one page: a single page lookup instead of one per byte.
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                out.copy_from_slice(&page[off..off + N]);
+            }
+            return out;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        out
     }
 
     /// Copies `bytes` into memory starting at `addr`.
@@ -112,6 +137,15 @@ mod tests {
         let data = b"weird machines compute with time";
         m.write_bytes(0x2000, data);
         assert_eq!(m.read_bytes(0x2000, data.len()), data);
+    }
+
+    #[test]
+    fn read_array_matches_bytes_across_pages() {
+        let mut m = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles a page boundary
+        m.write_bytes(addr, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.read_array::<8>(addr), [1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.read_array::<4>(0x9000), [0; 4], "unmapped reads zero");
     }
 
     #[test]

@@ -17,21 +17,37 @@ pub enum Policy {
 }
 
 /// Per-set replacement state. One instance per cache set.
+///
+/// Every variant packs into a single `u64`, so a cache's `Vec<SetState>`
+/// is a flat array with no per-set heap allocation — the LRU recency
+/// list is nibble-coded (way index at recency position `i` lives in bits
+/// `4i..4i+4`, position 0 = MRU), which caps true LRU at 16 ways; the
+/// largest modelled cache (L3) is exactly 16-way.
 #[derive(Debug, Clone)]
 pub(crate) enum SetState {
-    /// `order[0]` is most recently used way index.
-    Lru { order: Vec<u8> },
+    /// Nibble `i` of `order` is the way at recency position `i` (0 = MRU).
+    Lru { order: u64 },
     /// Flattened binary tree of direction bits; supports power-of-two ways.
     TreePlru { bits: u64 },
     /// Xorshift state for random victim selection.
     Random { state: u64 },
 }
 
+/// Nibble-packed identity permutation: way `i` at recency position `i`.
+fn lru_init(ways: usize) -> u64 {
+    assert!(ways <= 16, "nibble-packed LRU supports at most 16 ways");
+    let mut order = 0u64;
+    for i in 0..ways {
+        order |= (i as u64) << (4 * i);
+    }
+    order
+}
+
 impl SetState {
     pub(crate) fn new(policy: Policy, ways: usize, seed: u64) -> Self {
         match policy {
             Policy::Lru => SetState::Lru {
-                order: (0..ways as u8).collect(),
+                order: lru_init(ways),
             },
             Policy::TreePlru => SetState::TreePlru { bits: 0 },
             Policy::Random => SetState::Random {
@@ -44,10 +60,19 @@ impl SetState {
     pub(crate) fn touch(&mut self, way: usize, ways: usize) {
         match self {
             SetState::Lru { order } => {
-                if let Some(pos) = order.iter().position(|&w| w as usize == way) {
-                    let w = order.remove(pos);
-                    order.insert(0, w);
+                // Find `way`'s recency position, then splice it to the
+                // front: positions below it shift one place older.
+                let mut shift = 0u32;
+                while (*order >> shift) & 0xF != way as u64 {
+                    shift += 4;
                 }
+                let newer = *order & ((1u64 << shift) - 1);
+                let older = if shift + 4 >= 64 {
+                    0
+                } else {
+                    (*order >> (shift + 4)) << (shift + 4)
+                };
+                *order = older | (newer << 4) | way as u64;
             }
             SetState::TreePlru { bits } => {
                 // Walk from the root to the leaf for `way`, setting each
@@ -71,7 +96,7 @@ impl SetState {
     /// Chooses the victim way for the next fill.
     pub(crate) fn victim(&mut self, ways: usize) -> usize {
         match self {
-            SetState::Lru { order } => *order.last().expect("nonempty set") as usize,
+            SetState::Lru { order } => ((*order >> (4 * (ways - 1))) & 0xF) as usize,
             SetState::TreePlru { bits } => {
                 let mut node = 0usize;
                 let mut way = 0usize;

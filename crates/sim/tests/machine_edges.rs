@@ -278,6 +278,76 @@ fn div_by_zero_register_faults() {
     ));
 }
 
+/// Self-modifying code: a program that overwrites one of its own
+/// (dynamically written) instructions with a committed `Store` must see
+/// the new decoding on the next fetch — and the predecode cache must not
+/// change a single cycle of any of it.
+#[test]
+fn self_modifying_store_is_seen_and_predecode_is_cycle_neutral() {
+    // The scenario, parameterized over the predecode toggle.
+    let scenario = |predecode: bool| {
+        let mut m = Machine::new(
+            MachineConfig {
+                predecode,
+                ..MachineConfig::quiet()
+            },
+            0,
+        );
+        // Dynamic code at 0x2000: "Mov r5, 1; Halt" written as bytes
+        // (no static program entry, so fetches decode from memory).
+        let code_at = 0x2000u64;
+        let mut bytes = Vec::new();
+        for i in [
+            Inst::Mov {
+                dst: 5,
+                src: Operand::Imm(1),
+            },
+            Inst::Halt,
+        ] {
+            bytes.extend_from_slice(&i.encode());
+        }
+        m.mem_mut().write_bytes(code_at, &bytes);
+        // The replacement encoding ("Mov r5, 2") parked at a data address.
+        let patch = Inst::Mov {
+            dst: 5,
+            src: Operand::Imm(2),
+        }
+        .encode();
+        m.mem_mut().write_u64(0x4000, u64::from_le_bytes(patch));
+        // Static program: patcher at 0x100 loads the new encoding and
+        // stores it over the first dynamic instruction, then jumps there.
+        let mut a = Assembler::new(0x100);
+        a.push(Inst::Load {
+            dst: 0,
+            addr: 0x4000,
+        });
+        a.push(Inst::Store {
+            addr: code_at as u32,
+            src: 0,
+        });
+        a.push(Inst::Jmp {
+            target: code_at as u32,
+        });
+        m.load_program(a.finish().unwrap());
+
+        // First run executes (and, with predecode on, caches) the
+        // original instruction.
+        assert_eq!(m.run_at(code_at), RunOutcome::Halted);
+        let first = m.reg(5);
+        // Second run patches it in-program; the fetch after the store
+        // must see the new decoding.
+        assert_eq!(m.run_at(0x100), RunOutcome::Halted);
+        let second = m.reg(5);
+        (first, second, m.cycles())
+    };
+
+    let on = scenario(true);
+    let off = scenario(false);
+    assert_eq!(on.0, 1, "original instruction executes first");
+    assert_eq!(on.1, 2, "patched instruction must be re-decoded");
+    assert_eq!(on, off, "predecode must not change results or cycles");
+}
+
 /// The VMX warm-up window is visible from program timing (VMX-WR).
 #[test]
 fn vmx_warm_vs_cold_program_timing() {
