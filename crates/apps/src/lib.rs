@@ -33,5 +33,5 @@ pub mod sha1;
 pub mod sharif;
 pub mod wm_apt;
 
-pub use sha1::UwmSha1;
+pub use sha1::{Sha1Batch, UwmSha1};
 pub use wm_apt::{Payload, PingReport, Trigger, WmApt};

@@ -10,9 +10,17 @@
 //! The gate mix mirrors the paper's Table 4: XOR is built from four NANDs,
 //! so NAND executions dominate; the round functions and carries use the
 //! composed `AND_AND_OR` gate.
+//!
+//! [`Sha1Batch`] streams many messages through pooled, pre-warmed machines
+//! (one per executor shard) using the warm-state snapshot/restore API, so
+//! the expensive build-and-calibrate sequence is paid once per shard
+//! instead of once per message.
 
-use uwm_core::skelly::Skelly;
+use uwm_core::exec::{batch_seed, ShardedExecutor};
+use uwm_core::skelly::{Skelly, SkellySpec};
+use uwm_core::Result;
 use uwm_crypto::sha1::{Sha1, H0, K};
+use uwm_sim::machine::{Machine, MachineConfig};
 
 /// SHA-1 evaluator running on a [`Skelly`] weird machine.
 ///
@@ -113,6 +121,110 @@ impl<'a> UwmSha1<'a> {
     }
 }
 
+/// Batched SHA-1 over pooled weird machines.
+///
+/// Building a [`Skelly`] — layout allocation, gate assembly, program
+/// installs, code warming, threshold calibration — costs far more than one
+/// compression, so hashing many messages on fresh machines wastes almost
+/// all of its time on setup. This runner builds **one warmed machine per
+/// executor shard**, snapshots it right after calibration, and streams
+/// messages through the pool: each item restores the snapshot and reseeds
+/// the noise generator with `batch_seed(seed, item)`, so every digest is
+/// bit-identical to hashing that message on a machine freshly instantiated
+/// and reseeded the same way — independent of shard count or the order in
+/// which workers steal items.
+///
+/// # Examples
+///
+/// ```no_run
+/// use uwm_apps::sha1::Sha1Batch;
+/// use uwm_core::exec::ShardedExecutor;
+/// use uwm_sim::machine::MachineConfig;
+///
+/// let batch = Sha1Batch::new(MachineConfig::quiet(), ShardedExecutor::new(2), 7).unwrap();
+/// let digests = batch.hash_many(&[b"abc".as_slice(), b"def".as_slice()]);
+/// assert_eq!(digests[0], uwm_crypto::sha1(b"abc"));
+/// ```
+#[derive(Debug)]
+pub struct Sha1Batch {
+    spec: SkellySpec,
+    cfg: MachineConfig,
+    exec: ShardedExecutor,
+    seed: u64,
+}
+
+/// Per-shard state: a warmed framework plus the post-calibration snapshot
+/// every item rewinds to.
+struct ShardPool {
+    sk: Skelly,
+    snap: Box<Machine>,
+}
+
+impl Sha1Batch {
+    /// Builds the shared gate spec once; machines are instantiated lazily,
+    /// one per shard, inside each batched call.
+    ///
+    /// # Errors
+    ///
+    /// Fails if gate construction exhausts the layout or assembly fails.
+    pub fn new(cfg: MachineConfig, exec: ShardedExecutor, seed: u64) -> Result<Self> {
+        Ok(Self {
+            spec: SkellySpec::new()?,
+            cfg,
+            exec,
+            seed,
+        })
+    }
+
+    /// The base seed items derive their per-item noise seeds from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The executor the batch fans out on.
+    pub fn executor(&self) -> &ShardedExecutor {
+        &self.exec
+    }
+
+    fn pool(&self) -> ShardPool {
+        let sk = self.spec.instantiate(self.cfg.clone(), self.seed);
+        let snap = sk.machine().snapshot();
+        ShardPool { sk, snap }
+    }
+
+    fn rewind(&self, pool: &mut ShardPool, item: usize) {
+        let m = pool.sk.machine_mut();
+        m.restore_from(&pool.snap);
+        m.reseed_noise(batch_seed(self.seed, item));
+    }
+
+    /// Hashes every message on the pooled machines; digests come back in
+    /// message order.
+    pub fn hash_many(&self, messages: &[&[u8]]) -> Vec<[u8; 20]> {
+        self.exec.run_with(
+            messages.len(),
+            || self.pool(),
+            |i, pool| {
+                self.rewind(pool, i);
+                UwmSha1::new(&mut pool.sk).hash(messages[i])
+            },
+        )
+    }
+
+    /// One compression per block from [`H0`] — the unit of work the
+    /// `sha1_block` benchmark measures.
+    pub fn compress_many(&self, blocks: &[[u8; 64]]) -> Vec<[u32; 5]> {
+        self.exec.run_with(
+            blocks.len(),
+            || self.pool(),
+            |i, pool| {
+                self.rewind(pool, i);
+                UwmSha1::new(&mut pool.sk).compress(H0, &blocks[i])
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +252,19 @@ mod tests {
                 uwm_crypto::sha1::f(t, b, c, d),
                 "t={t}"
             );
+        }
+    }
+
+    /// Two messages hashed through the pooled batch runner match the
+    /// architectural reference — one compression each, spread over two
+    /// shards, rewinding the post-calibration snapshot between items.
+    #[test]
+    fn batched_hashes_match_reference() {
+        let batch = Sha1Batch::new(MachineConfig::quiet(), ShardedExecutor::new(2), 9).unwrap();
+        let msgs: [&[u8]; 2] = [b"abc", b"weird machines"];
+        let got = batch.hash_many(&msgs);
+        for (m, d) in msgs.iter().zip(&got) {
+            assert_eq!(*d, uwm_crypto::sha1(m), "{:?}", core::str::from_utf8(m));
         }
     }
 

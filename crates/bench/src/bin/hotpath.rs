@@ -1,6 +1,6 @@
 //! Interpreter hot-path throughput: the tracked perf baseline.
 //!
-//! Measures host-side gate-evals/sec and committed-insts/sec for the three
+//! Measures host-side gate-evals/sec and committed-insts/sec for the
 //! workloads that exercise every layer of the hot path:
 //!
 //! - `bp_and` — the §3.2 branch-predictor AND gate (mispredicted branch,
@@ -8,18 +8,40 @@
 //! - `tsx_xor` — the §4 TSX XOR gate (transaction + abort rollback)
 //! - `adder32` — a 32-bit skelly ripple-carry adder (composed weird gates,
 //!   the SHA-1 building block)
+//! - `adder32_serial` — the same adder as a compiled circuit, bound the
+//!   pre-plan way: a fresh machine and a per-gate-fragment program install
+//!   for every operand pair (the batch engine's serial comparator)
+//! - `adder32_batch` — the adder streamed through [`BatchRunner`]: pooled
+//!   per-shard machines, warm-state snapshot/restore between items
+//! - `sha1_block` — one SHA-1 compression per item through the pooled
+//!   [`Sha1Batch`] runner
 //!
-//! Usage: `hotpath [scale] [--shards N] [--json PATH] [--baseline PATH]`
+//! Usage: `hotpath [scale] [--shards N] [--json PATH] [--baseline PATH]
+//! [--check-regression FRAC]`
 //!
 //! With `--baseline PATH` the report embeds a previously written report
 //! and per-workload speedup ratios, so a before/after pair measured by
 //! the same binary documents an optimization (`BENCH_hotpath.json` at the
-//! repo root is maintained this way).
+//! repo root is maintained this way). With `--check-regression FRAC` the
+//! run exits non-zero when throughput regresses more than `FRAC` against
+//! the baseline: per-workload rates are first normalized by the run's own
+//! `bp_and` rate so the comparison cancels host speed (CI runners and dev
+//! machines differ), and the in-run `adder32_batch` / `adder32_serial`
+//! speedup — a pure ratio, host-independent at a fixed shard count — is
+//! compared directly.
 
+use uwm_apps::{Sha1Batch, UwmSha1};
 use uwm_bench::harness;
 use uwm_bench::json::Json;
 use uwm_bench::{gate_performance_sharded, maybe_write_json, parse_args, scaled};
+use uwm_core::batch::BatchRunner;
+use uwm_core::circuit::{adder32_inputs, adder32_spec, CircuitSpec};
+use uwm_core::exec::{batch_seed, ShardedExecutor};
+use uwm_core::layout::Layout;
 use uwm_core::skelly::Skelly;
+use uwm_core::substrate::DEFAULT_ALIAS_STRIDE;
+use uwm_crypto::sha1::H0;
+use uwm_sim::machine::{Machine, MachineConfig};
 
 /// Input combinations cycled through the two-input gate workloads.
 const INPUTS2: [[bool; 2]; 4] = [[false, false], [false, true], [true, false], [true, true]];
@@ -136,6 +158,131 @@ fn adder_workload(seed: u64, count_ops: u64) -> Workload {
     }
 }
 
+/// The 32-bit ripple-carry adder as a compiled circuit spec.
+fn adder_circuit() -> CircuitSpec {
+    let mut lay = Layout::new(DEFAULT_ALIAS_STRIDE);
+    adder32_spec(&mut lay).expect("adder circuit builds")
+}
+
+/// Measures the pre-plan serial circuit path — the batch engine's
+/// comparator: every operand pair pays a fresh default-noise machine, a
+/// per-gate-fragment binding (one program install, and thus one full
+/// predecode rebuild, per fragment), and one run.
+fn adder32_serial_workload(spec: &CircuitSpec, seed: u64, count_ops: u64) -> Workload {
+    let gate_evals_per_op = spec.compile().gate_count() as f64;
+    let serial_op = |i: usize| -> u64 {
+        let mut m = Machine::new(MachineConfig::default(), batch_seed(seed, i));
+        let c = spec.instantiate_per_unit(&mut m);
+        let (a, b) = PAIRS[i % PAIRS.len()];
+        c.run(&mut m, &adder32_inputs(a, b)).expect("arity matches");
+        m.stats().committed_insts
+    };
+
+    // Counted pass: each op starts from a fresh machine, so its final
+    // committed-instruction count is the per-op cost (binding included).
+    let insts: u64 = (0..count_ops as usize).map(serial_op).sum();
+    let insts_per_op = insts as f64 / count_ops as f64;
+
+    // Timed pass.
+    let mut i = 0usize;
+    let m = harness::bench("hotpath/adder32_serial", || {
+        serial_op(i);
+        i += 1;
+    });
+
+    Workload {
+        name: "adder32_serial",
+        median_ns_per_op: m.median_ns,
+        min_ns_per_op: m.min_ns,
+        max_ns_per_op: m.max_ns,
+        gate_evals_per_op,
+        committed_insts_per_op: insts_per_op,
+    }
+}
+
+/// Measures the batch engine on the same circuit: one warmed machine per
+/// shard, snapshot/restore between items, `items` operand pairs streamed
+/// per timed run (pool setup is inside the measurement, amortized over
+/// the stream like production use).
+fn adder32_batch_workload(spec: &CircuitSpec, seed: u64, shards: usize, items: u64) -> Workload {
+    let plan = spec.compile();
+    let gate_evals_per_op = plan.gate_count() as f64;
+    let inputs: Vec<Vec<bool>> = (0..items as usize)
+        .map(|i| {
+            let (a, b) = PAIRS[i % PAIRS.len()];
+            adder32_inputs(a, b)
+        })
+        .collect();
+    let factory = || Machine::new(MachineConfig::default(), seed);
+
+    // Counted pass: replicate the pooled inner loop on one machine and
+    // read the committed-instruction delta per item off the snapshot
+    // (restore rewinds the stats, so each delta is one item's cost).
+    let mut m = Machine::new(MachineConfig::default(), seed);
+    let c = plan.instantiate(&mut m);
+    let snap = m.snapshot();
+    let mut insts = 0u64;
+    let counted = inputs.len().min(8);
+    for (i, inp) in inputs.iter().take(counted).enumerate() {
+        m.restore_from(&snap);
+        m.reseed_noise(batch_seed(seed, i));
+        c.run(&mut m, inp).expect("arity matches");
+        insts += m.stats().committed_insts - snap.stats().committed_insts;
+    }
+    let insts_per_op = insts as f64 / counted as f64;
+
+    // Timed pass: the whole stream is one measured unit.
+    let runner = BatchRunner::new(plan, ShardedExecutor::new(shards), seed);
+    let n = inputs.len() as f64;
+    let m = harness::bench("hotpath/adder32_batch", || {
+        runner.run(factory, &inputs).expect("arity matches");
+    });
+
+    Workload {
+        name: "adder32_batch",
+        median_ns_per_op: m.median_ns / n,
+        min_ns_per_op: m.min_ns / n,
+        max_ns_per_op: m.max_ns / n,
+        gate_evals_per_op,
+        committed_insts_per_op: insts_per_op,
+    }
+}
+
+/// Measures pooled SHA-1 compression: `blocks` single-block items
+/// streamed through [`Sha1Batch`] across `shards` pooled machines.
+fn sha1_block_workload(seed: u64, shards: usize, blocks: u64) -> Workload {
+    // Counted pass: one compression on a dedicated skelly gives gate
+    // evaluations and committed instructions per block.
+    let mut sk = Skelly::noisy(seed).expect("skelly builds");
+    let raw_total = |sk: &Skelly| -> u64 { sk.counters().iter().map(|(_, c)| c.raw_total).sum() };
+    let block0: [u8; 64] = core::array::from_fn(|i| i as u8);
+    let gates_before = raw_total(&sk);
+    let insts_before = sk.machine().stats().committed_insts;
+    UwmSha1::new(&mut sk).compress(H0, &block0);
+    let gate_evals_per_op = (raw_total(&sk) - gates_before) as f64;
+    let insts_per_op = (sk.machine().stats().committed_insts - insts_before) as f64;
+
+    // Timed pass.
+    let batch = Sha1Batch::new(MachineConfig::default(), ShardedExecutor::new(shards), seed)
+        .expect("sha1 batch builds");
+    let items: Vec<[u8; 64]> = (0..blocks)
+        .map(|i| core::array::from_fn(|j| (i as u8).wrapping_mul(31) ^ j as u8))
+        .collect();
+    let n = items.len() as f64;
+    let m = harness::bench("hotpath/sha1_block", || {
+        batch.compress_many(&items);
+    });
+
+    Workload {
+        name: "sha1_block",
+        median_ns_per_op: m.median_ns / n,
+        min_ns_per_op: m.min_ns / n,
+        max_ns_per_op: m.max_ns / n,
+        gate_evals_per_op,
+        committed_insts_per_op: insts_per_op,
+    }
+}
+
 /// Pulls `gate_evals_per_sec` for `name` out of a parsed report.
 fn baseline_rate(doc: &Json, name: &str) -> Option<f64> {
     doc.get("workloads")?
@@ -150,17 +297,34 @@ fn main() {
     let args = parse_args();
     let seed = 0xCAFE;
 
+    if args.check_regression.is_some() && args.baseline.is_none() {
+        eprintln!("error: --check-regression requires --baseline");
+        std::process::exit(2);
+    }
+
     println!(
         "hotpath: interpreter hot-path throughput (scale {})",
         args.scale
     );
     println!();
 
+    let circuit = adder_circuit();
     let workloads = [
         gate_workload("bp_and", "AND", seed, scaled(256, args.scale)),
         gate_workload("tsx_xor", "TSX_XOR", seed + 1, scaled(256, args.scale)),
         adder_workload(seed + 2, scaled(8, args.scale)),
+        adder32_serial_workload(&circuit, seed + 4, scaled(4, args.scale)),
+        adder32_batch_workload(&circuit, seed + 5, args.shards, scaled(256, args.scale)),
+        sha1_block_workload(seed + 6, args.shards, scaled(16, args.scale)),
     ];
+    let rate_of = |name: &str| -> f64 {
+        workloads
+            .iter()
+            .find(|w| w.name == name)
+            .expect("workload exists")
+            .gate_evals_per_sec()
+    };
+    let batch_vs_serial = rate_of("adder32_batch") / rate_of("adder32_serial");
 
     // A sharded AND run exercises the per-shard scratch reuse path.
     let sharded_ops = scaled(16 * uwm_bench::GATE_BATCH_OPS, args.scale);
@@ -188,6 +352,12 @@ fn main() {
         "-",
         sharded.shards
     );
+    println!();
+    println!(
+        "batch engine: adder32_batch vs adder32_serial: {batch_vs_serial:.2}x \
+         gate-evals/sec at {} shard(s)",
+        args.shards
+    );
 
     let mut report = vec![
         ("bench", Json::Str("hotpath".to_owned())),
@@ -206,14 +376,30 @@ fn main() {
                 ("evals_per_sec", Json::Num(sharded.run.execs_per_sec())),
             ]),
         ),
+        (
+            "batch",
+            Json::obj([
+                ("shards", Json::UInt(args.shards as u64)),
+                (
+                    "adder32_serial_evals_per_sec",
+                    Json::Num(rate_of("adder32_serial")),
+                ),
+                (
+                    "adder32_batch_evals_per_sec",
+                    Json::Num(rate_of("adder32_batch")),
+                ),
+                ("batch_vs_serial", Json::Num(batch_vs_serial)),
+            ]),
+        ),
     ];
 
+    let mut regressions: Vec<String> = Vec::new();
     if let Some(path) = &args.baseline {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("error: cannot read baseline {}: {e}", path.display());
             std::process::exit(1);
         });
-        let doc = Json::parse(&text).unwrap_or_else(|e| {
+        let mut doc = Json::parse(&text).unwrap_or_else(|e| {
             eprintln!("error: cannot parse baseline {}: {e}", path.display());
             std::process::exit(1);
         });
@@ -236,7 +422,53 @@ fn main() {
             println!("{:<10} speedup vs baseline: {min:.2}x", "min");
             speedups.push(("min", Json::Num(min)));
         }
+        speedups.push(("batch_vs_serial", Json::Num(batch_vs_serial)));
+
+        if let Some(frac) = args.check_regression {
+            let anchor = rate_of("bp_and");
+            match baseline_rate(&doc, "bp_and") {
+                None => regressions.push("baseline has no bp_and anchor workload".to_owned()),
+                Some(base_anchor) => {
+                    for w in &workloads {
+                        if w.name == "bp_and" {
+                            continue;
+                        }
+                        let Some(base) = baseline_rate(&doc, w.name) else {
+                            continue;
+                        };
+                        let rel = (w.gate_evals_per_sec() / anchor) / (base / base_anchor);
+                        if rel < 1.0 - frac {
+                            regressions.push(format!(
+                                "{}: {rel:.2}x of baseline (bp_and-normalized), \
+                                 below the {:.2} floor",
+                                w.name,
+                                1.0 - frac
+                            ));
+                        }
+                    }
+                }
+            }
+            if let Some(base_ratio) = doc
+                .get("batch")
+                .and_then(|b| b.get("batch_vs_serial"))
+                .and_then(Json::as_f64)
+            {
+                if batch_vs_serial < base_ratio * (1.0 - frac) {
+                    regressions.push(format!(
+                        "batch_vs_serial: {batch_vs_serial:.2}x, below {:.2} \
+                         (baseline {base_ratio:.2}x at tolerance {frac})",
+                        base_ratio * (1.0 - frac)
+                    ));
+                }
+            }
+        }
+
         report.push(("speedup", Json::obj(speedups)));
+        // Embed only the baseline's own measurements: drop its nested
+        // baseline so the committed report doesn't grow without bound.
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "baseline");
+        }
         report.push(("baseline", doc));
     }
 
@@ -244,4 +476,15 @@ fn main() {
         &args,
         &Json::Obj(report.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
     );
+
+    if let Some(frac) = args.check_regression {
+        if regressions.is_empty() {
+            println!("regression check passed (tolerance {frac})");
+        } else {
+            for r in &regressions {
+                eprintln!("regression: {r}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

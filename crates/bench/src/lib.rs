@@ -57,17 +57,24 @@ pub struct BenchArgs {
     /// A previously written report to compare against (`--baseline PATH`;
     /// used by `hotpath` to compute speedup ratios).
     pub baseline: Option<std::path::PathBuf>,
+    /// Fail (exit 1) if throughput regresses more than this fraction
+    /// against the baseline (`--check-regression FRAC`; requires
+    /// `--baseline`). The CI perf-smoke job runs with `0.2`.
+    pub check_regression: Option<f64>,
 }
 
-/// Parses `[scale] [--shards N] [--json PATH] [--baseline PATH]` from the
-/// process args.
+/// Parses `[scale] [--shards N] [--json PATH] [--baseline PATH]
+/// [--check-regression FRAC]` from the process args.
 ///
 /// Prints a usage message to stderr and exits with status 2 on malformed
 /// arguments.
 pub fn parse_args() -> BenchArgs {
     fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
-        eprintln!("usage: [scale] [--shards N] [--json PATH] [--baseline PATH]");
+        eprintln!(
+            "usage: [scale] [--shards N] [--json PATH] [--baseline PATH] \
+             [--check-regression FRAC]"
+        );
         std::process::exit(2);
     }
     let mut out = BenchArgs {
@@ -75,6 +82,7 @@ pub fn parse_args() -> BenchArgs {
         shards: 1,
         json: None,
         baseline: None,
+        check_regression: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -103,6 +111,19 @@ pub fn parse_args() -> BenchArgs {
                 usage("--baseline takes a path");
             };
             out.baseline = Some(v.into());
+        } else if let Some(v) = a.strip_prefix("--check-regression=") {
+            out.check_regression = Some(
+                v.parse()
+                    .unwrap_or_else(|_| usage("--check-regression takes a fraction")),
+            );
+        } else if a == "--check-regression" {
+            let Some(v) = args.next() else {
+                usage("--check-regression takes a value");
+            };
+            out.check_regression = Some(
+                v.parse()
+                    .unwrap_or_else(|_| usage("--check-regression takes a fraction")),
+            );
         } else {
             out.scale = a
                 .parse()

@@ -1,0 +1,340 @@
+//! Batch circuit-evaluation engine: pooled per-shard machines streaming
+//! input vectors through a compiled [`CircuitPlan`].
+//!
+//! Evaluating a weird circuit for one input vector is cheap next to the
+//! cost of *standing a machine up*: constructing the backend, installing
+//! and predecoding the gate programs, warming code ranges, and calibrating
+//! the read threshold. The serial idiom — a fresh backend per item, so
+//! every item is a pure function of its seed — pays that setup for every
+//! input vector.
+//!
+//! The [`BatchRunner`] keeps the purity but pays setup once per shard:
+//!
+//! 1. each shard builds one backend, binds the plan to it
+//!    ([`CircuitPlan::instantiate`] — one predecode pass, warm, calibrate),
+//!    and takes a [`Substrate::snapshot`] of the warmed state;
+//! 2. for every item the shard restores the snapshot (O(touched state):
+//!    resident pages are overwritten in place), reseeds the backend's
+//!    randomness with [`batch_seed`]`(seed, item)`, and runs the circuit.
+//!
+//! Because the restore is *full* — clock, RNG, statistics and trace
+//! included — every item starts from bit-identical machine state and a
+//! seed that depends only on `(base seed, item index)`. The observables of
+//! item `i` are therefore independent of shard count, scheduling order,
+//! and which items ran before it, and identical to the serial path's
+//! (fresh backend, instantiate, reseed, run). Golden tests in
+//! `tests/batch_equiv.rs` enforce that equivalence on both backends.
+
+use crate::circuit::{Circuit, CircuitPlan};
+use crate::error::{CoreError, Result};
+use crate::exec::{batch_seed, ShardedExecutor};
+use crate::gate::GateReading;
+use crate::substrate::Substrate;
+
+/// Everything observable about one batch item's evaluation — the
+/// equivalence surface the golden tests compare against the serial path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchObservation {
+    /// Decoded bit and raw read delay for each designated output.
+    pub readings: Vec<GateReading>,
+    /// The backend's cycle counter after the run. The full restore rewinds
+    /// the clock to the snapshot point, so this is an absolute, per-item
+    /// deterministic value.
+    pub cycles: u64,
+}
+
+impl BatchObservation {
+    /// The decoded output bits.
+    pub fn bits(&self) -> Vec<bool> {
+        self.readings.iter().map(|r| r.bit).collect()
+    }
+}
+
+/// Streams input vectors through a circuit on pooled per-shard machines.
+///
+/// # Examples
+///
+/// ```
+/// use uwm_core::batch::BatchRunner;
+/// use uwm_core::circuit::{adder32_inputs, adder32_outputs, adder32_spec};
+/// use uwm_core::exec::ShardedExecutor;
+/// use uwm_core::layout::Layout;
+/// use uwm_sim::machine::{Machine, MachineConfig};
+///
+/// let mut lay = Layout::new(8192);
+/// let plan = adder32_spec(&mut lay).unwrap().compile();
+/// let runner = BatchRunner::new(plan, ShardedExecutor::new(2), 42);
+/// let inputs: Vec<Vec<bool>> = (0..4u32)
+///     .map(|i| adder32_inputs(i, 100))
+///     .collect();
+/// let outs = runner
+///     .run(|| Machine::new(MachineConfig::quiet(), 42), &inputs)
+///     .unwrap();
+/// for (i, bits) in outs.iter().enumerate() {
+///     assert_eq!(adder32_outputs(bits), (i as u32 + 100, false));
+/// }
+/// ```
+#[derive(Debug)]
+pub struct BatchRunner {
+    plan: CircuitPlan,
+    exec: ShardedExecutor,
+    seed: u64,
+}
+
+/// Per-shard pooled state: the warmed backend, the bound circuit, and the
+/// snapshot every item restores from.
+struct ShardPool<B: Substrate> {
+    backend: B,
+    circuit: Circuit,
+    snapshot: crate::substrate::SubstrateSnapshot,
+}
+
+impl BatchRunner {
+    /// A runner evaluating `plan` with per-item seeds derived from `seed`.
+    pub fn new(plan: CircuitPlan, exec: ShardedExecutor, seed: u64) -> Self {
+        Self { plan, exec, seed }
+    }
+
+    /// The compiled plan being evaluated.
+    pub fn plan(&self) -> &CircuitPlan {
+        &self.plan
+    }
+
+    /// The base seed item seeds derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total gate evaluations for a batch of `items` inputs.
+    pub fn gate_evals(&self, items: usize) -> u64 {
+        self.plan.gate_count() as u64 * items as u64
+    }
+
+    fn check_arity(&self, inputs: &[Vec<bool>]) -> Result<()> {
+        for item in inputs {
+            if item.len() != self.input_count() {
+                return Err(CoreError::Arity {
+                    gate: "batch circuit",
+                    expected: self.input_count(),
+                    got: item.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn input_count(&self) -> usize {
+        self.plan.input_count()
+    }
+
+    fn pool<B: Substrate>(&self, factory: &(impl Fn() -> B + Sync)) -> ShardPool<B> {
+        let mut backend = factory();
+        let circuit = self.plan.instantiate(&mut backend);
+        let snapshot = backend.snapshot();
+        ShardPool {
+            backend,
+            circuit,
+            snapshot,
+        }
+    }
+
+    /// Evaluates every input vector and returns the decoded output bits,
+    /// in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] if any input vector's length differs
+    /// from the circuit's declared inputs.
+    pub fn run<B, F>(&self, factory: F, inputs: &[Vec<bool>]) -> Result<Vec<Vec<bool>>>
+    where
+        B: Substrate,
+        F: Fn() -> B + Sync,
+    {
+        Ok(self
+            .run_observed(factory, inputs)?
+            .into_iter()
+            .map(|o| o.bits())
+            .collect())
+    }
+
+    /// Like [`BatchRunner::run`], but returns the full per-item
+    /// observables (readings with delays, end-of-run cycle counter).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] if any input vector's length differs
+    /// from the circuit's declared inputs.
+    pub fn run_observed<B, F>(
+        &self,
+        factory: F,
+        inputs: &[Vec<bool>],
+    ) -> Result<Vec<BatchObservation>>
+    where
+        B: Substrate,
+        F: Fn() -> B + Sync,
+    {
+        self.check_arity(inputs)?;
+        let results = self.exec.run_with(
+            inputs.len(),
+            || self.pool(&factory),
+            |i, pool: &mut ShardPool<B>| {
+                pool.backend.restore(&pool.snapshot);
+                pool.backend.reseed(batch_seed(self.seed, i));
+                let readings = pool
+                    .circuit
+                    .run_timed(&mut pool.backend, &inputs[i])
+                    .expect("arity validated before dispatch");
+                BatchObservation {
+                    readings,
+                    cycles: pool.backend.cycles(),
+                }
+            },
+        );
+        Ok(results)
+    }
+
+    /// Batched redundancy: evaluates every input vector `trials` times —
+    /// each trial restoring the shard's snapshot and reseeding with a seed
+    /// derived from `(item, trial)` — and majority-votes each output bit.
+    /// The `trials × items` executions all reuse the pooled warm state;
+    /// nothing is re-instantiated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] if any input vector's length differs
+    /// from the circuit's declared inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn run_voted<B, F>(
+        &self,
+        factory: F,
+        inputs: &[Vec<bool>],
+        trials: usize,
+    ) -> Result<Vec<Vec<bool>>>
+    where
+        B: Substrate,
+        F: Fn() -> B + Sync,
+    {
+        assert!(trials > 0, "voting needs at least one trial");
+        self.check_arity(inputs)?;
+        let results = self.exec.run_with(
+            inputs.len(),
+            || self.pool(&factory),
+            |i, pool: &mut ShardPool<B>| {
+                let mut ones = vec![0usize; self.plan.output_count()];
+                for t in 0..trials {
+                    pool.backend.restore(&pool.snapshot);
+                    pool.backend.reseed(batch_seed(batch_seed(self.seed, i), t));
+                    let readings = pool
+                        .circuit
+                        .run_timed(&mut pool.backend, &inputs[i])
+                        .expect("arity validated before dispatch");
+                    for (n, r) in ones.iter_mut().zip(&readings) {
+                        *n += usize::from(r.bit);
+                    }
+                }
+                ones.into_iter().map(|n| 2 * n > trials).collect()
+            },
+        );
+        Ok(results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::{adder32_inputs, adder32_outputs, adder32_spec, CircuitBuilder};
+    use crate::layout::Layout;
+    use crate::substrate::FlatEmulator;
+    use uwm_sim::machine::{Machine, MachineConfig};
+
+    fn xor_plan() -> CircuitPlan {
+        let mut lay = Layout::new(8192);
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input(&mut lay).unwrap();
+        let b = cb.input(&mut lay).unwrap();
+        let q = cb.xor(&mut lay, a, b).unwrap();
+        cb.mark_output(q);
+        cb.finish().unwrap().compile()
+    }
+
+    #[test]
+    fn batch_outputs_match_reference() {
+        let runner = BatchRunner::new(xor_plan(), ShardedExecutor::new(2), 9);
+        let inputs: Vec<Vec<bool>> = (0..8).map(|i| vec![i & 1 == 1, i & 2 == 2]).collect();
+        let outs = runner
+            .run(|| Machine::new(MachineConfig::quiet(), 9), &inputs)
+            .unwrap();
+        for (item, out) in inputs.iter().zip(&outs) {
+            assert_eq!(out, &vec![item[0] ^ item[1]], "inputs {item:?}");
+        }
+    }
+
+    #[test]
+    fn observables_are_shard_count_invariant() {
+        let inputs: Vec<Vec<bool>> = (0..12).map(|i| vec![i & 1 == 1, i & 2 == 2]).collect();
+        let base = BatchRunner::new(xor_plan(), ShardedExecutor::new(1), 7)
+            .run_observed(|| Machine::new(MachineConfig::default(), 7), &inputs)
+            .unwrap();
+        for shards in [2, 4] {
+            let got = BatchRunner::new(xor_plan(), ShardedExecutor::new(shards), 7)
+                .run_observed(|| Machine::new(MachineConfig::default(), 7), &inputs)
+                .unwrap();
+            assert_eq!(got, base, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn voted_run_agrees_with_plain_run_on_quiet_machine() {
+        let runner = BatchRunner::new(xor_plan(), ShardedExecutor::new(2), 3);
+        let inputs: Vec<Vec<bool>> = (0..4).map(|i| vec![i & 1 == 1, i & 2 == 2]).collect();
+        let plain = runner
+            .run(|| Machine::new(MachineConfig::quiet(), 3), &inputs)
+            .unwrap();
+        let voted = runner
+            .run_voted(|| Machine::new(MachineConfig::quiet(), 3), &inputs, 3)
+            .unwrap();
+        assert_eq!(plain, voted);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let runner = BatchRunner::new(xor_plan(), ShardedExecutor::new(1), 0);
+        let err = runner
+            .run(|| Machine::new(MachineConfig::quiet(), 0), &[vec![true; 3]])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Arity { .. }));
+    }
+
+    #[test]
+    fn adder32_batch_sums_on_the_machine() {
+        let mut lay = Layout::new(8192);
+        let plan = adder32_spec(&mut lay).unwrap().compile();
+        let runner = BatchRunner::new(plan, ShardedExecutor::new(2), 1);
+        let pairs: Vec<(u32, u32)> = vec![(3, 4), (u32::MAX, 2), (0x1234, 0x4321)];
+        let inputs: Vec<Vec<bool>> = pairs.iter().map(|&(a, b)| adder32_inputs(a, b)).collect();
+        let outs = runner
+            .run(|| Machine::new(MachineConfig::quiet(), 1), &inputs)
+            .unwrap();
+        for (&(a, b), out) in pairs.iter().zip(&outs) {
+            let (want, want_c) = a.overflowing_add(b);
+            assert_eq!(adder32_outputs(out), (want, want_c), "{a:#x} + {b:#x}");
+        }
+    }
+
+    #[test]
+    fn flat_backend_is_poolable() {
+        // The flat emulator degenerates gates (that is the emulation
+        // detector's signal); batching must still be deterministic on it.
+        let inputs: Vec<Vec<bool>> = (0..6).map(|i| vec![i & 1 == 1, i & 2 == 2]).collect();
+        let base = BatchRunner::new(xor_plan(), ShardedExecutor::new(1), 5)
+            .run_observed(FlatEmulator::new, &inputs)
+            .unwrap();
+        let sharded = BatchRunner::new(xor_plan(), ShardedExecutor::new(3), 5)
+            .run_observed(FlatEmulator::new, &inputs)
+            .unwrap();
+        assert_eq!(base, sharded);
+    }
+}

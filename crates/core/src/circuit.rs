@@ -18,12 +18,19 @@
 //! several, possibly one per executor shard.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::error::{CoreError, Result};
 use crate::gate::tsx::{TsxAnd, TsxAndOr, TsxAssign, TsxNot, TsxOr};
-use crate::gate::{ProgramUnit, READ_THRESHOLD};
+use crate::gate::{GateReading, ProgramUnit, READ_THRESHOLD};
 use crate::layout::Layout;
+use crate::skelly::calibrate_threshold;
 use crate::substrate::Substrate;
+use uwm_sim::isa::Program;
+
+/// Samples used when calibrating a circuit's read threshold at
+/// instantiation time (odd, so the median is a real sample).
+const CALIBRATION_SAMPLES: usize = 33;
 
 /// A handle to one weird-register wire inside a circuit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -63,23 +70,47 @@ enum Step {
 }
 
 impl Step {
-    fn prepare<S: Substrate + ?Sized>(&self, s: &mut S) {
+    /// Entry pc of the step's transaction.
+    fn entry_pc(&self) -> u64 {
         match self {
-            Step::Assign { g, .. } => g.prepare(s),
-            Step::Not { g, .. } => g.prepare(s),
-            Step::And { g, .. } => g.prepare(s),
-            Step::Or { g, .. } => g.prepare(s),
-            Step::AndOr { g, .. } => g.prepare(s),
+            Step::Assign { g, .. } => g.entry_pc(),
+            Step::Not { g, .. } => g.entry_pc(),
+            Step::And { g, .. } => g.entry_pc(),
+            Step::Or { g, .. } => g.entry_pc(),
+            Step::AndOr { g, .. } => g.entry_pc(),
         }
     }
 
-    fn activate<S: Substrate + ?Sized>(&self, s: &mut S) {
-        match self {
-            Step::Assign { g, .. } => g.activate(s),
-            Step::Not { g, .. } => g.activate(s),
-            Step::And { g, .. } => g.activate(s),
-            Step::Or { g, .. } => g.activate(s),
-            Step::AndOr { g, .. } => g.activate(s),
+    /// Input wires, `None`-padded to the maximum arity.
+    fn in_wires(&self) -> [Option<Wire>; 2] {
+        match *self {
+            Step::Assign { a, .. } | Step::Not { a, .. } => [Some(a), None],
+            Step::And { a, b, .. } | Step::Or { a, b, .. } | Step::AndOr { a, b, .. } => {
+                [Some(a), Some(b)]
+            }
+        }
+    }
+
+    /// Output wires, `None`-padded.
+    fn out_wires(&self) -> [Option<Wire>; 2] {
+        match *self {
+            Step::Assign { q, .. }
+            | Step::Not { q, .. }
+            | Step::And { q, .. }
+            | Step::Or { q, .. } => [Some(q), None],
+            Step::AndOr { q_and, q_or, .. } => [Some(q_and), Some(q_or)],
+        }
+    }
+
+    /// Appends the step's output-initialization ops: every output wire is
+    /// flushed to 0, except NOT's, which is pre-set to 1.
+    fn push_preps(&self, wires: &[u64], preps: &mut Vec<PrepOp>) {
+        let preset = matches!(self, Step::Not { .. });
+        for w in self.out_wires().into_iter().flatten() {
+            preps.push(PrepOp {
+                addr: wires[w.0],
+                preset,
+            });
         }
     }
 
@@ -285,12 +316,24 @@ impl CircuitBuilder {
             }
             seen[w.0] = true;
         }
+        // Dedupe pooled fragments: composed specs can contribute the same
+        // Arc-shared unit more than once; installing it twice would only
+        // re-predecode identical code.
+        let mut units: Vec<ProgramUnit> = Vec::with_capacity(self.units.len());
+        for u in self.units {
+            if !units
+                .iter()
+                .any(|kept| Arc::ptr_eq(&kept.program, &u.program))
+            {
+                units.push(u);
+            }
+        }
         Ok(CircuitSpec {
             wires: self.wires,
             inputs: self.inputs,
             outputs: self.outputs,
             steps: self.steps,
-            units: self.units,
+            units,
         })
     }
 }
@@ -318,51 +361,157 @@ impl fmt::Debug for CircuitSpec {
 }
 
 impl CircuitSpec {
-    /// Binds the circuit to an execution backend: installs and warms every
-    /// gate program, in build order, and returns the runnable [`Circuit`].
-    pub fn instantiate<S: Substrate + ?Sized>(&self, s: &mut S) -> Circuit {
+    /// Compiles the spec into an executable [`CircuitPlan`]: gates are
+    /// topologically leveled into wavefronts, the per-run protocol is
+    /// flattened into precomputed address arrays, and every gate program is
+    /// merged into one shared image installed with a single predecode pass.
+    /// No machine is involved; compile once, instantiate per backend.
+    pub fn compile(&self) -> CircuitPlan {
+        // Wavefront leveling: a gate's level is one past its deepest
+        // producer; primary inputs sit at level 0. Order within a level
+        // follows build order, so the plan order is a stable topological
+        // sort — the canonical activation order for serial and batch runs.
+        let mut wire_level = vec![0usize; self.wires.len()];
+        let mut order: Vec<(usize, usize)> = Vec::with_capacity(self.steps.len());
+        for (i, step) in self.steps.iter().enumerate() {
+            let lvl = 1 + step
+                .in_wires()
+                .into_iter()
+                .flatten()
+                .map(|w| wire_level[w.0])
+                .max()
+                .unwrap_or(0);
+            for w in step.out_wires().into_iter().flatten() {
+                wire_level[w.0] = lvl;
+            }
+            order.push((lvl, i));
+        }
+        order.sort_unstable();
+
+        let mut steps = Vec::with_capacity(self.steps.len());
+        let mut preps = Vec::new();
+        let mut activations = Vec::with_capacity(self.steps.len());
+        let mut level_starts = Vec::new();
+        let mut cur_level = 0;
+        for &(lvl, i) in &order {
+            if lvl > cur_level {
+                level_starts.push(activations.len());
+                cur_level = lvl;
+            }
+            let step = self.steps[i];
+            step.push_preps(&self.wires, &mut preps);
+            activations.push(step.entry_pc());
+            steps.push(step);
+        }
+
+        let mut program = Program::new();
+        let mut warm = Vec::new();
         for u in &self.units {
-            s.install_program(u.program.clone());
+            program.merge_from(&u.program);
+            if let Some(range) = u.warm {
+                warm.push(range);
+            }
+        }
+
+        CircuitPlan {
+            wires: self.wires.clone(),
+            inputs: self.inputs.clone(),
+            outputs: self.outputs.clone(),
+            steps,
+            preps,
+            activations,
+            level_starts,
+            input_addrs: self.inputs.iter().map(|w| self.wires[w.0]).collect(),
+            output_addrs: self.outputs.iter().map(|w| self.wires[w.0]).collect(),
+            program: Arc::new(program),
+            warm,
+        }
+    }
+
+    /// Compiles and binds in one step — the convenience path when a spec
+    /// is only ever bound once. Sharded and batch callers should
+    /// [`CircuitSpec::compile`] once and instantiate the plan per backend.
+    pub fn instantiate<S: Substrate + ?Sized>(&self, s: &mut S) -> Circuit {
+        self.compile().instantiate(s)
+    }
+
+    /// Binds the circuit the way the pre-plan engine did: one
+    /// [`Substrate::install_program`] — and thus one full predecode rebuild
+    /// — per gate fragment, and the frozen default [`READ_THRESHOLD`]
+    /// instead of a calibrated one. Kept as the serial comparator for the
+    /// batch engine's speedup measurements.
+    pub fn instantiate_per_unit<S: Substrate + ?Sized>(&self, s: &mut S) -> Circuit {
+        for u in &self.units {
+            s.install_program(Program::clone(&u.program));
             if let Some((base, end)) = u.warm {
                 s.warm_code_range(base, end);
             }
         }
         Circuit {
-            wires: self.wires.clone(),
-            inputs: self.inputs.clone(),
-            outputs: self.outputs.clone(),
-            steps: self.steps.clone(),
+            plan: self.compile(),
             threshold: READ_THRESHOLD,
         }
     }
 }
 
-/// A finished weird circuit bound to a backend: activate-only gates over
-/// shared weird registers, with designated architectural inputs and
-/// outputs.
-pub struct Circuit {
+/// One output-initialization op of the flattened per-run protocol: flush
+/// the line to store 0, or touch it to pre-set 1 (NOT gates).
+#[derive(Debug, Clone, Copy)]
+struct PrepOp {
+    addr: u64,
+    preset: bool,
+}
+
+/// A compiled circuit: the machine-free product of
+/// [`CircuitSpec::compile`].
+///
+/// The plan holds everything a run needs as flat precomputed arrays —
+/// output-initialization ops, primary-input addresses, gate entry pcs in
+/// wavefront (level-major) order, output addresses — plus the single
+/// merged program image shared by every backend the plan is bound to.
+/// [`CircuitPlan::instantiate`] installs that image with one predecode
+/// pass, warms the declared ranges, and calibrates the read threshold
+/// against the backend it binds to.
+#[derive(Clone)]
+pub struct CircuitPlan {
     wires: Vec<u64>,
     inputs: Vec<Wire>,
     outputs: Vec<Wire>,
+    /// Steps in plan (level-major) order; retained for reference
+    /// evaluation.
     steps: Vec<Step>,
-    threshold: u64,
+    preps: Vec<PrepOp>,
+    activations: Vec<u64>,
+    /// Start index in `activations` of each wavefront.
+    level_starts: Vec<usize>,
+    input_addrs: Vec<u64>,
+    output_addrs: Vec<u64>,
+    program: Arc<Program>,
+    warm: Vec<(u64, u64)>,
 }
 
-impl fmt::Debug for Circuit {
+impl fmt::Debug for CircuitPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Circuit")
+        f.debug_struct("CircuitPlan")
             .field("wires", &self.wires.len())
             .field("inputs", &self.inputs.len())
             .field("outputs", &self.outputs.len())
-            .field("gates", &self.steps.len())
+            .field("gates", &self.activations.len())
+            .field("levels", &self.depth())
+            .field("insts", &self.program.len())
             .finish()
     }
 }
 
-impl Circuit {
+impl CircuitPlan {
     /// Number of gate activations per run.
     pub fn gate_count(&self) -> usize {
-        self.steps.len()
+        self.activations.len()
+    }
+
+    /// Number of wavefronts (the circuit's critical-path depth in gates).
+    pub fn depth(&self) -> usize {
+        self.level_starts.len()
     }
 
     /// Number of primary inputs.
@@ -375,40 +524,133 @@ impl Circuit {
         self.outputs.len()
     }
 
-    /// Runs the circuit: initializes every gate, stores `input_bits` into
-    /// the primary input registers, activates all gates in order (data
-    /// flows through MA state only), then reads the designated outputs.
+    /// Binds the plan to an execution backend: installs the merged program
+    /// image (one predecode pass), warms the declared code ranges, then
+    /// calibrates the read threshold against this backend's actual timing
+    /// by probing the first output wire. A circuit with no outputs falls
+    /// back to the default [`READ_THRESHOLD`].
+    pub fn instantiate<S: Substrate + ?Sized>(&self, s: &mut S) -> Circuit {
+        s.install_shared(&self.program);
+        for &(base, end) in &self.warm {
+            s.warm_code_range(base, end);
+        }
+        let threshold = match self.output_addrs.first() {
+            Some(&probe) => calibrate_threshold(s, probe, CALIBRATION_SAMPLES),
+            None => READ_THRESHOLD,
+        };
+        Circuit {
+            plan: self.clone(),
+            threshold,
+        }
+    }
+}
+
+/// A finished weird circuit bound to a backend: activate-only gates over
+/// shared weird registers, with designated architectural inputs and
+/// outputs.
+pub struct Circuit {
+    plan: CircuitPlan,
+    threshold: u64,
+}
+
+impl fmt::Debug for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Circuit")
+            .field("wires", &self.plan.wires.len())
+            .field("inputs", &self.plan.inputs.len())
+            .field("outputs", &self.plan.outputs.len())
+            .field("gates", &self.plan.activations.len())
+            .field("threshold", &self.threshold)
+            .finish()
+    }
+}
+
+impl Circuit {
+    /// Number of gate activations per run.
+    pub fn gate_count(&self) -> usize {
+        self.plan.gate_count()
+    }
+
+    /// Number of primary inputs.
+    pub fn input_count(&self) -> usize {
+        self.plan.inputs.len()
+    }
+
+    /// Number of designated outputs.
+    pub fn output_count(&self) -> usize {
+        self.plan.outputs.len()
+    }
+
+    /// The read threshold decided at instantiation time (calibrated unless
+    /// the pre-plan binding path was used).
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Runs the circuit: initializes every gate output, stores
+    /// `input_bits` into the primary input registers, activates the
+    /// wavefronts in plan order (data flows through MA state only), then
+    /// reads the designated outputs.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Arity`] if `input_bits.len()` differs from the
     /// declared inputs.
     pub fn run<S: Substrate + ?Sized>(&self, s: &mut S, input_bits: &[bool]) -> Result<Vec<bool>> {
-        if input_bits.len() != self.inputs.len() {
+        Ok(self
+            .run_timed(s, input_bits)?
+            .into_iter()
+            .map(|r| r.bit)
+            .collect())
+    }
+
+    /// Like [`Circuit::run`], but reports each output's raw read delay
+    /// alongside the decoded bit (golden equivalence tests compare these).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] if `input_bits.len()` differs from the
+    /// declared inputs.
+    pub fn run_timed<S: Substrate + ?Sized>(
+        &self,
+        s: &mut S,
+        input_bits: &[bool],
+    ) -> Result<Vec<GateReading>> {
+        if input_bits.len() != self.plan.input_addrs.len() {
             return Err(CoreError::Arity {
                 gate: "circuit",
-                expected: self.inputs.len(),
+                expected: self.plan.input_addrs.len(),
                 got: input_bits.len(),
             });
         }
-        for step in &self.steps {
-            step.prepare(s);
+        for p in &self.plan.preps {
+            if p.preset {
+                s.timed_read(p.addr);
+            } else {
+                s.flush_addr(p.addr);
+            }
         }
-        for (w, &bit) in self.inputs.iter().zip(input_bits) {
-            let addr = self.wires[w.0];
+        for (&addr, &bit) in self.plan.input_addrs.iter().zip(input_bits) {
             if bit {
                 s.timed_read(addr);
             } else {
                 s.flush_addr(addr);
             }
         }
-        for step in &self.steps {
-            step.activate(s);
+        for &pc in &self.plan.activations {
+            s.run_at(pc);
         }
         Ok(self
-            .outputs
+            .plan
+            .output_addrs
             .iter()
-            .map(|w| s.timed_read_tsc(self.wires[w.0]) < self.threshold)
+            .map(|&addr| {
+                let delay = s.timed_read_tsc(addr);
+                GateReading {
+                    bit: delay < self.threshold,
+                    delay,
+                }
+            })
             .collect())
     }
 
@@ -419,16 +661,77 @@ impl Circuit {
     ///
     /// Panics if `input_bits.len()` differs from the declared inputs.
     pub fn eval_reference(&self, input_bits: &[bool]) -> Vec<bool> {
-        assert_eq!(input_bits.len(), self.inputs.len());
-        let mut bits = vec![false; self.wires.len()];
-        for (w, &b) in self.inputs.iter().zip(input_bits) {
+        assert_eq!(input_bits.len(), self.plan.inputs.len());
+        let mut bits = vec![false; self.plan.wires.len()];
+        for (w, &b) in self.plan.inputs.iter().zip(input_bits) {
             bits[w.0] = b;
         }
-        for step in &self.steps {
+        for step in &self.plan.steps {
             step.eval(&mut bits);
         }
-        self.outputs.iter().map(|w| bits[w.0]).collect()
+        self.plan.outputs.iter().map(|w| bits[w.0]).collect()
     }
+}
+
+/// Builds the 32-bit ripple-carry adder circuit used by the batch engine's
+/// benchmarks and equivalence tests: inputs `a0..a31` then `b0..b31`
+/// (least-significant bit first), outputs `sum0..sum31` then the final
+/// carry. Fan-out is explicit — `and_or(w, w)` duplicates a wire — so the
+/// whole adder respects the single-consumption rule.
+///
+/// # Errors
+///
+/// Fails on layout exhaustion or assembly error.
+pub fn adder32_spec(lay: &mut Layout) -> Result<CircuitSpec> {
+    let mut cb = CircuitBuilder::new();
+    let a: Vec<Wire> = (0..32).map(|_| cb.input(lay)).collect::<Result<_>>()?;
+    let b: Vec<Wire> = (0..32).map(|_| cb.input(lay)).collect::<Result<_>>()?;
+    let mut carry: Option<Wire> = None;
+    for i in 0..32 {
+        let (ab, aob) = cb.and_or(lay, a[i], b[i])?;
+        let (ab1, ab2) = cb.and_or(lay, ab, ab)?; // fan-out: ab feeds sum and carry
+        let nab = cb.not(lay, ab1)?;
+        let x = cb.and(lay, aob, nab)?; // x = a ^ b
+        match carry.take() {
+            None => {
+                // Bit 0 has no carry-in: sum is x itself.
+                cb.mark_output(x);
+                carry = Some(ab2);
+            }
+            Some(cin) => {
+                let (x1, x2) = cb.and_or(lay, x, x)?;
+                let (c1, c2) = cb.and_or(lay, cin, cin)?;
+                let sum = cb.xor(lay, x1, c1)?;
+                cb.mark_output(sum);
+                let cx = cb.and(lay, c2, x2)?;
+                carry = Some(cb.or(lay, ab2, cx)?);
+            }
+        }
+    }
+    cb.mark_output(carry.expect("32 bits processed"));
+    cb.finish()
+}
+
+/// Packs two operands into [`adder32_spec`]'s input order.
+pub fn adder32_inputs(a: u32, b: u32) -> Vec<bool> {
+    (0..32)
+        .map(|i| a >> i & 1 == 1)
+        .chain((0..32).map(|i| b >> i & 1 == 1))
+        .collect()
+}
+
+/// Unpacks [`adder32_spec`]'s outputs into `(sum, carry_out)`.
+///
+/// # Panics
+///
+/// Panics if `bits` is not the adder's 33 outputs.
+pub fn adder32_outputs(bits: &[bool]) -> (u32, bool) {
+    assert_eq!(bits.len(), 33, "adder32 has 32 sum bits plus a carry");
+    let sum = bits[..32]
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, &b)| acc | (u32::from(b) << i));
+    (sum, bits[32])
 }
 
 #[cfg(test)]
@@ -548,6 +851,62 @@ mod tests {
                 vec![true],
                 "seed {seed}"
             );
+        }
+    }
+
+    #[test]
+    fn plan_levels_follow_dataflow() {
+        let (_m, mut lay) = setup();
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input(&mut lay).unwrap();
+        let b = cb.input(&mut lay).unwrap();
+        let q = cb.xor(&mut lay, a, b).unwrap();
+        cb.mark_output(q);
+        let plan = cb.finish().unwrap().compile();
+        // xor = and_or (level 1) -> not (level 2) -> and (level 3).
+        assert_eq!(plan.gate_count(), 3);
+        assert_eq!(plan.depth(), 3);
+    }
+
+    #[test]
+    fn plan_instantiate_matches_per_unit_binding() {
+        let (_m, mut lay) = setup();
+        let mut cb = CircuitBuilder::new();
+        let a = cb.input(&mut lay).unwrap();
+        let b = cb.input(&mut lay).unwrap();
+        let q = cb.xor(&mut lay, a, b).unwrap();
+        cb.mark_output(q);
+        let spec = cb.finish().unwrap();
+        let mut m1 = Machine::new(MachineConfig::quiet(), 7);
+        let mut m2 = Machine::new(MachineConfig::quiet(), 7);
+        let fast = spec.instantiate(&mut m1);
+        let slow = spec.instantiate_per_unit(&mut m2);
+        for (x, y) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(
+                fast.run(&mut m1, &[x, y]).unwrap(),
+                slow.run(&mut m2, &[x, y]).unwrap(),
+                "inputs ({x}, {y})"
+            );
+        }
+    }
+
+    #[test]
+    fn adder32_sums_correctly() {
+        let (mut m, mut lay) = setup();
+        let c = adder32_spec(&mut lay).unwrap().instantiate(&mut m);
+        assert_eq!(c.input_count(), 64);
+        assert_eq!(c.output_count(), 33);
+        for (a, b) in [
+            (0u32, 0u32),
+            (1, 1),
+            (0x89AB_CDEF, 0x0123_4567),
+            (u32::MAX, 1),
+            (0xDEAD_BEEF, 0xFEED_F00D),
+        ] {
+            let out = c.run(&mut m, &adder32_inputs(a, b)).unwrap();
+            let (sum, cout) = adder32_outputs(&out);
+            let (want, want_cout) = a.overflowing_add(b);
+            assert_eq!((sum, cout), (want, want_cout), "{a:#x} + {b:#x}");
         }
     }
 

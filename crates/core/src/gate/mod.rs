@@ -31,6 +31,8 @@
 pub mod bp;
 pub mod tsx;
 
+use std::sync::Arc;
+
 use crate::error::{CoreError, Result};
 use crate::substrate::Substrate;
 use uwm_sim::isa::Program;
@@ -42,10 +44,14 @@ pub const READ_THRESHOLD: u64 = 130;
 
 /// One assembled program fragment of a gate spec, with an optional code
 /// range to warm at instantiation time.
+///
+/// The program is `Arc`-shared: cloning a spec (or pooling its units into
+/// a circuit) never copies instructions, and binding the spec to a backend
+/// installs from the shared reference.
 #[derive(Debug, Clone)]
 pub struct ProgramUnit {
-    /// The assembled instructions.
-    pub program: Program,
+    /// The assembled instructions, shared between all clones of the spec.
+    pub program: Arc<Program>,
     /// `Some((base, end))` if the fragment's code must be resident before
     /// first activation (gate bodies racing the I-cache).
     pub warm: Option<(u64, u64)>,
@@ -96,7 +102,7 @@ impl<G: Copy> GateSpec<G> {
     /// returns the runnable gate.
     pub fn instantiate<S: Substrate + ?Sized>(&self, s: &mut S) -> G {
         for u in &self.units {
-            s.install_program(u.program.clone());
+            s.install_shared(&u.program);
             if let Some((base, end)) = u.warm {
                 s.warm_code_range(base, end);
             }
@@ -164,6 +170,44 @@ pub trait WeirdGate {
     ///
     /// Returns [`CoreError::Arity`] when `inputs.len() != self.arity()`.
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading>;
+
+    /// Whether this gate implements the split protocol
+    /// ([`WeirdGate::begin`] / [`WeirdGate::activate_read`]) that lets a
+    /// harness prepare once and re-activate many times from a substrate
+    /// snapshot. Defaults to `false`; harnesses must fall back to
+    /// [`WeirdGate::execute_timed`] when unsupported.
+    fn supports_split(&self) -> bool {
+        false
+    }
+
+    /// First half of the split protocol: initialize the output registers
+    /// and encode `inputs` — everything input-dependent that precedes
+    /// activation. After `begin`, a harness may snapshot the substrate and
+    /// replay [`WeirdGate::activate_read`] from it any number of times.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Arity`] when `inputs.len() != self.arity()`.
+    ///
+    /// # Panics
+    ///
+    /// May panic when [`WeirdGate::supports_split`] is `false`.
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        let _ = (s, inputs);
+        unimplemented!("gate does not support the split protocol")
+    }
+
+    /// Second half of the split protocol: activate the gate body and read
+    /// the output register. Only valid on a substrate state produced by
+    /// [`WeirdGate::begin`] (directly or via snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// May panic when [`WeirdGate::supports_split`] is `false`.
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        let _ = s;
+        unimplemented!("gate does not support the split protocol")
+    }
 }
 
 /// Result of one timed gate execution.

@@ -22,6 +22,8 @@
 //! `build`/`build_wired` are convenience wrappers that immediately
 //! instantiate the spec on a [`Substrate`].
 
+use std::sync::Arc;
+
 use crate::error::Result;
 use crate::gate::{check_arity, GateReading, GateSpec, ProgramUnit, WeirdGate, READ_THRESHOLD};
 use crate::layout::Layout;
@@ -63,7 +65,7 @@ fn emit_tx(
     Ok((
         base,
         ProgramUnit {
-            program: a.finish()?,
+            program: Arc::new(a.finish()?),
             warm: Some((base, end)),
         },
     ))
@@ -212,6 +214,13 @@ impl TsxAssign {
     }
 }
 
+impl TsxAssign {
+    /// Entry pc of the gate's transaction (circuit-plan compilation).
+    pub fn entry_pc(&self) -> u64 {
+        self.pc
+    }
+}
+
 impl WeirdGate for TsxAssign {
     fn name(&self) -> &'static str {
         "TSX_ASSIGN"
@@ -228,6 +237,22 @@ impl WeirdGate for TsxAssign {
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 1, inputs)?;
         Ok(self.execute_reading(s, inputs[0]))
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 1, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.input, inputs[0]);
+        Ok(())
+    }
+
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -356,6 +381,13 @@ impl TsxAnd {
     }
 }
 
+impl TsxAnd {
+    /// Entry pc of the gate's transaction (circuit-plan compilation).
+    pub fn entry_pc(&self) -> u64 {
+        self.pc
+    }
+}
+
 impl WeirdGate for TsxAnd {
     fn name(&self) -> &'static str {
         "TSX_AND"
@@ -372,6 +404,23 @@ impl WeirdGate for TsxAnd {
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
         Ok(self.execute_reading(s, inputs[0], inputs[1]))
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 2, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.in_a, inputs[0]);
+        set_dc(s, self.in_b, inputs[1]);
+        Ok(())
+    }
+
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -495,6 +544,13 @@ impl TsxOr {
     }
 }
 
+impl TsxOr {
+    /// Entry pc of the gate's transaction (circuit-plan compilation).
+    pub fn entry_pc(&self) -> u64 {
+        self.pc
+    }
+}
+
 impl WeirdGate for TsxOr {
     fn name(&self) -> &'static str {
         "TSX_OR"
@@ -511,6 +567,23 @@ impl WeirdGate for TsxOr {
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
         Ok(self.execute_reading(s, inputs[0], inputs[1]))
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 2, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.in_a, inputs[0]);
+        set_dc(s, self.in_b, inputs[1]);
+        Ok(())
+    }
+
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -659,6 +732,13 @@ impl TsxAndOr {
     }
 }
 
+impl TsxAndOr {
+    /// Entry pc of the gate's transaction (circuit-plan compilation).
+    pub fn entry_pc(&self) -> u64 {
+        self.pc
+    }
+}
+
 impl WeirdGate for TsxAndOr {
     fn name(&self) -> &'static str {
         "TSX_AND_OR"
@@ -678,6 +758,25 @@ impl WeirdGate for TsxAndOr {
         check_arity(self.name(), 2, inputs)?;
         let (and, _) = self.execute_readings(s, inputs[0], inputs[1]);
         Ok(and)
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 2, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.in_a, inputs[0]);
+        set_dc(s, self.in_b, inputs[1]);
+        Ok(())
+    }
+
+    /// Reads the AND output; the OR line is left for the caller, matching
+    /// [`WeirdGate::execute_timed`]'s single-output view.
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.out_and)
     }
 }
 
@@ -783,6 +882,13 @@ impl TsxNot {
     }
 }
 
+impl TsxNot {
+    /// Entry pc of the gate's transaction (circuit-plan compilation).
+    pub fn entry_pc(&self) -> u64 {
+        self.pc
+    }
+}
+
 impl WeirdGate for TsxNot {
     fn name(&self) -> &'static str {
         "TSX_NOT"
@@ -799,6 +905,22 @@ impl WeirdGate for TsxNot {
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 1, inputs)?;
         Ok(self.execute_reading(s, inputs[0]))
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 1, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.input, inputs[0]);
+        Ok(())
+    }
+
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.out)
     }
 }
 
@@ -936,6 +1058,23 @@ impl WeirdGate for TsxXor {
     fn execute_timed(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<GateReading> {
         check_arity(self.name(), 2, inputs)?;
         Ok(self.execute_reading(s, inputs[0], inputs[1]))
+    }
+
+    fn supports_split(&self) -> bool {
+        true
+    }
+
+    fn begin(&self, s: &mut dyn Substrate, inputs: &[bool]) -> Result<()> {
+        check_arity(self.name(), 2, inputs)?;
+        self.prepare(s);
+        set_dc(s, self.and_or.in_a(), inputs[0]);
+        set_dc(s, self.and_or.in_b(), inputs[1]);
+        Ok(())
+    }
+
+    fn activate_read(&self, s: &mut dyn Substrate) -> GateReading {
+        self.activate(s);
+        read_out(s, self.and2.out())
     }
 }
 

@@ -18,7 +18,11 @@
 //!   [`substrate::Substrate`] — the full [`uwm_sim`] machine or the flat
 //!   (no-MA) emulator used by the §7 emulation detector;
 //! * [`exec`] — a sharded executor that fans deterministic trial batches
-//!   across OS threads and merges results in batch order.
+//!   across OS threads and merges results in batch order;
+//! * [`batch`] — the batch circuit-evaluation engine: compiled
+//!   [`circuit::CircuitPlan`]s bound once per shard, with warm-state
+//!   snapshot/restore streaming thousands of input vectors per pooled
+//!   machine.
 //!
 //! ## Quick start
 //!
@@ -36,6 +40,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod circuit;
 pub mod error;
 pub mod exec;
@@ -49,7 +54,11 @@ pub use error::{CoreError, Result};
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {
-    pub use crate::circuit::{Circuit, CircuitBuilder, CircuitSpec, Wire};
+    pub use crate::batch::{BatchObservation, BatchRunner};
+    pub use crate::circuit::{
+        adder32_inputs, adder32_outputs, adder32_spec, Circuit, CircuitBuilder, CircuitPlan,
+        CircuitSpec, Wire,
+    };
     pub use crate::error::{CoreError, Result};
     pub use crate::exec::ShardedExecutor;
     pub use crate::gate::bp::{BpAnd, BpAndAndOr, BpNand, BpOr};

@@ -62,6 +62,16 @@ impl Redundancy {
     /// Executes `gate` redundantly and returns the voted output bit,
     /// recording accuracy statistics in `bank`.
     ///
+    /// When more than one raw execution is needed and the gate implements
+    /// the split protocol ([`WeirdGate::supports_split`]), the invariant
+    /// preparation — output initialization, input encoding, predictor
+    /// training — runs **once**: the prepared state is snapshotted and
+    /// every trial restores it ([`Substrate::restore_keeping_clock`], so
+    /// the clock stays monotonic and each trial draws fresh noise) before
+    /// activating and reading. Gates without split support, and the
+    /// no-redundancy default, fall back to the full per-trial protocol —
+    /// the default path is bit-identical to the unhoisted one.
+    ///
     /// # Errors
     ///
     /// Propagates gate arity errors.
@@ -82,22 +92,31 @@ impl Redundancy {
         );
         assert!(self.k > 0 && self.k <= self.votes, "need 0 < k <= votes");
         let expected = gate.truth(inputs);
+        let prepared = if self.raw_executions() > 1 && gate.supports_split() {
+            gate.begin(s, inputs)?;
+            Some(s.snapshot())
+        } else {
+            None
+        };
         let counters = bank.entry(gate.name());
         let mut ones = 0usize;
         let mut delays = Vec::with_capacity(self.samples);
         for _ in 0..self.votes {
             delays.clear();
-            let mut raw_bit_any = false;
             for _ in 0..self.samples {
-                let r = gate.execute_timed(s, inputs)?;
+                let r = match &prepared {
+                    Some(snap) => {
+                        s.restore_keeping_clock(snap);
+                        gate.activate_read(s)
+                    }
+                    None => gate.execute_timed(s, inputs)?,
+                };
                 counters.raw_total += 1;
                 if r.bit == expected {
                     counters.raw_correct += 1;
                 }
-                raw_bit_any |= r.bit;
                 delays.push(r.delay);
             }
-            let _ = raw_bit_any;
             delays.sort_unstable();
             let median = delays[delays.len() / 2];
             let vote = median < crate::gate::READ_THRESHOLD;
@@ -316,6 +335,49 @@ mod tests {
         };
         let mut m = machine();
         let _ = red.vote(&gate, &mut m, &[true], &mut CounterBank::new());
+    }
+
+    #[test]
+    fn hoisted_split_path_votes_correctly() {
+        use crate::gate::tsx::TsxAnd;
+        use crate::layout::Layout;
+        // A real split-capable gate on a noisy machine: prepare runs once,
+        // every raw execution replays the prepared snapshot.
+        let mut m = Machine::new(uwm_sim::machine::MachineConfig::default(), 11);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        let g = TsxAnd::build(&mut m, &mut lay).unwrap();
+        let red = Redundancy::paper();
+        let mut bank = CounterBank::new();
+        for bits in 0..4u32 {
+            let inputs = [bits & 1 == 1, bits & 2 == 2];
+            let out = red.vote(&g, &mut m, &inputs, &mut bank).unwrap();
+            assert_eq!(out, inputs[0] & inputs[1], "inputs {inputs:?}");
+        }
+        let c = bank.get("TSX_AND").unwrap();
+        assert_eq!(c.raw_total, 4 * 50, "s*n raw executions per logical op");
+        assert_eq!(c.vote_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn clock_stays_monotonic_across_hoisted_trials() {
+        use crate::gate::tsx::TsxOr;
+        use crate::layout::Layout;
+        let mut m = Machine::new(uwm_sim::machine::MachineConfig::quiet(), 0);
+        let mut lay = Layout::new(m.predictor().alias_stride());
+        let g = TsxOr::build(&mut m, &mut lay).unwrap();
+        let red = Redundancy {
+            samples: 5,
+            votes: 3,
+            k: 2,
+        };
+        let before = uwm_sim::machine::Machine::cycles(&m);
+        let _ = red
+            .vote(&g, &mut m, &[true, false], &mut CounterBank::new())
+            .unwrap();
+        assert!(
+            uwm_sim::machine::Machine::cycles(&m) > before,
+            "restore_keeping_clock must not rewind time"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! real `Machine` and compares decoded bits against the gate's truth table
 //! to tell the two apart.
 
-use super::Substrate;
+use super::{Substrate, SubstrateSnapshot};
 use uwm_sim::isa::{brz_target, AluOp, Inst, Operand, Program, Reg, INST_SIZE, NUM_REGS};
 use uwm_sim::machine::{FaultCause, RunOutcome};
 use uwm_sim::memory::Memory;
@@ -91,6 +91,22 @@ impl FlatEmulator {
     /// Architectural register read (tests, demos).
     pub fn reg(&self, r: Reg) -> u64 {
         self.regs[r as usize]
+    }
+
+    /// Restores every field from `snap`, reusing allocations where
+    /// possible (see [`Memory::restore_from`]).
+    fn restore_fields(&mut self, snap: &FlatEmulator, keep_clock: bool) {
+        self.lat.clone_from(&snap.lat);
+        self.regs = snap.regs;
+        self.mem.restore_from(&snap.mem);
+        self.program.clone_from(&snap.program);
+        self.code.clone_from(&snap.code);
+        self.tx.clone_from(&snap.tx);
+        self.step_limit = snap.step_limit;
+        self.alias_stride = snap.alias_stride;
+        if !keep_clock {
+            self.cycles = snap.cycles;
+        }
     }
 
     fn operand(&self, op: Operand) -> u64 {
@@ -285,6 +301,11 @@ impl Substrate for FlatEmulator {
         self.code.rebuild(&self.program);
     }
 
+    fn install_shared(&mut self, program: &Program) {
+        self.program.merge_from(program);
+        self.code.rebuild(&self.program);
+    }
+
     fn warm_code_range(&mut self, base: u64, end: u64) {
         // No caches to warm, but predecode the range (no timing effect).
         let mut pc = base - base % INST_SIZE;
@@ -366,6 +387,28 @@ impl Substrate for FlatEmulator {
 
     fn alias_stride(&self) -> u64 {
         self.alias_stride
+    }
+
+    fn snapshot(&self) -> SubstrateSnapshot {
+        SubstrateSnapshot(Box::new(self.clone()))
+    }
+
+    fn restore(&mut self, snap: &SubstrateSnapshot) {
+        let f = snap
+            .downcast_ref::<FlatEmulator>()
+            .expect("snapshot was taken from the flat-emulator backend");
+        self.restore_fields(f, false);
+    }
+
+    fn restore_keeping_clock(&mut self, snap: &SubstrateSnapshot) {
+        let f = snap
+            .downcast_ref::<FlatEmulator>()
+            .expect("snapshot was taken from the flat-emulator backend");
+        self.restore_fields(f, true);
+    }
+
+    fn reseed(&mut self, _seed: u64) {
+        // Fully deterministic backend: nothing to reseed.
     }
 }
 

@@ -23,9 +23,35 @@ pub mod flat;
 
 pub use flat::{FlatEmulator, DEFAULT_ALIAS_STRIDE};
 
+use std::any::Any;
+use std::fmt;
+
 use uwm_sim::isa::{Program, Reg};
 use uwm_sim::machine::{Machine, RunOutcome};
 use uwm_sim::timing::LatencyConfig;
+
+/// An opaque capture of a backend's complete state, produced by
+/// [`Substrate::snapshot`] and consumed by [`Substrate::restore`].
+///
+/// The capture is backend-specific (a boxed deep copy of the concrete
+/// type), which keeps the trait object-safe: batch runners and the
+/// redundancy voter hold `&mut dyn Substrate` and still snapshot/restore.
+/// Restoring a snapshot into a *different* backend type panics — snapshots
+/// are not a serialization format.
+pub struct SubstrateSnapshot(Box<dyn Any + Send>);
+
+impl fmt::Debug for SubstrateSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SubstrateSnapshot").finish()
+    }
+}
+
+impl SubstrateSnapshot {
+    /// Recovers the concrete backend state, if the types match.
+    pub(crate) fn downcast_ref<T: 'static>(&self) -> Option<&T> {
+        self.0.downcast_ref()
+    }
+}
 
 /// Execution backend contract for weird gates, registers, and circuits.
 ///
@@ -41,6 +67,11 @@ pub trait Substrate {
     /// Installs an assembled program fragment, merging it with any code
     /// already loaded.
     fn install_program(&mut self, program: Program);
+
+    /// Installs a program fragment from a shared reference, merging its
+    /// instructions without cloning the whole [`Program`] first — the
+    /// spec-binding path for `Arc`-shared gate units.
+    fn install_shared(&mut self, program: &Program);
 
     /// Warms the instruction-side state for `[base, end)` so gate code
     /// itself never misses (its residency must stay input-independent).
@@ -84,6 +115,41 @@ pub trait Substrate {
     /// Distance between a branch and its predictor-aliased twin; gate
     /// layouts are built for a specific stride.
     fn alias_stride(&self) -> u64;
+
+    /// Captures the backend's complete state — architectural and
+    /// microarchitectural, plus clock, randomness, statistics and trace —
+    /// so that a later [`Substrate::restore`] replays every subsequent
+    /// observable bit for bit.
+    fn snapshot(&self) -> SubstrateSnapshot;
+
+    /// Restores the exact state captured by [`Substrate::snapshot`].
+    ///
+    /// The determinism contract of batch evaluation rests on this being a
+    /// *full* restore: after `restore(&snap)` the backend is
+    /// indistinguishable from the one that took the snapshot, so
+    /// `restore + reseed(s) + work` produces the same observables as a
+    /// fresh backend built the same way and reseeded with `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a different backend type.
+    fn restore(&mut self, snap: &SubstrateSnapshot);
+
+    /// Restores machine state (registers, memory, caches, predictors,
+    /// code) but keeps the clock monotonic, the noise stream advancing,
+    /// and statistics/trace accumulating — rewinding *state* without
+    /// rewinding *time*. Used by the redundancy voter to rerun a prepared
+    /// gate under fresh noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snap` came from a different backend type.
+    fn restore_keeping_clock(&mut self, snap: &SubstrateSnapshot);
+
+    /// Restarts the backend's randomness from `seed`, as if it had been
+    /// constructed with that seed. Deterministic backends (the flat
+    /// emulator) treat this as a no-op.
+    fn reseed(&mut self, seed: u64);
 }
 
 impl Substrate for Machine {
@@ -93,6 +159,10 @@ impl Substrate for Machine {
 
     fn install_program(&mut self, program: Program) {
         self.add_program(program);
+    }
+
+    fn install_shared(&mut self, program: &Program) {
+        self.add_program_from(program);
     }
 
     fn warm_code_range(&mut self, base: u64, end: u64) {
@@ -145,6 +215,28 @@ impl Substrate for Machine {
 
     fn alias_stride(&self) -> u64 {
         self.predictor().alias_stride()
+    }
+
+    fn snapshot(&self) -> SubstrateSnapshot {
+        SubstrateSnapshot(Machine::snapshot(self))
+    }
+
+    fn restore(&mut self, snap: &SubstrateSnapshot) {
+        let m = snap
+            .downcast_ref::<Machine>()
+            .expect("snapshot was taken from the uwm-sim backend");
+        self.restore_from(m);
+    }
+
+    fn restore_keeping_clock(&mut self, snap: &SubstrateSnapshot) {
+        let m = snap
+            .downcast_ref::<Machine>()
+            .expect("snapshot was taken from the uwm-sim backend");
+        self.restore_from_keeping_clock(m);
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.reseed_noise(seed);
     }
 }
 

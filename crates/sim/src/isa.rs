@@ -478,6 +478,12 @@ impl Program {
         self.insts.extend(other.insts);
     }
 
+    /// Merges `other`'s instructions from a shared reference — no
+    /// intermediate [`Program`] clone (the `Arc`-shared unit install path).
+    pub fn merge_from(&mut self, other: &Program) {
+        self.insts.extend(other.iter());
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.insts.len()

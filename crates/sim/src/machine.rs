@@ -291,6 +291,13 @@ impl Machine {
         self.code.rebuild(&self.program);
     }
 
+    /// Merges additional code from a shared reference and repredecodes —
+    /// no intermediate [`Program`] clone.
+    pub fn add_program_from(&mut self, program: &Program) {
+        self.program.merge_from(program);
+        self.code.rebuild(&self.program);
+    }
+
     /// The loaded static program.
     pub fn program(&self) -> &Program {
         &self.program
@@ -443,6 +450,69 @@ impl Machine {
         self.bp.reset();
         self.btb.reset();
         self.contention.reset();
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore (batch evaluation support)
+    // ------------------------------------------------------------------
+
+    /// Captures the machine's complete state: architectural (registers,
+    /// memory, loaded program) and microarchitectural (caches, predictors,
+    /// predecode cache, in-flight transaction), plus the clock, noise RNG,
+    /// statistics and tracer. A machine restored from the snapshot
+    /// reproduces every subsequent observable bit for bit.
+    pub fn snapshot(&self) -> Box<Machine> {
+        Box::new(self.clone())
+    }
+
+    /// Restores every field from `snap`, reusing existing allocations
+    /// where possible so repeated restores in a batch loop cost memcpy,
+    /// not malloc.
+    pub fn restore_from(&mut self, snap: &Machine) {
+        self.cfg = snap.cfg.clone();
+        self.regs = snap.regs;
+        self.mem.restore_from(&snap.mem);
+        self.hier.clone_from(&snap.hier);
+        self.bp.clone_from(&snap.bp);
+        self.btb.clone_from(&snap.btb);
+        self.contention = snap.contention.clone();
+        self.noise = snap.noise.clone();
+        self.tracer.clone_from(&snap.tracer);
+        self.program.clone_from(&snap.program);
+        self.code.clone_from(&snap.code);
+        self.cycles = snap.cycles;
+        self.tx.clone_from(&snap.tx);
+        self.stats = snap.stats;
+        self.step_limit = snap.step_limit;
+        self.spec_scratch.clone_from(&snap.spec_scratch);
+        self.undo_pool.clone_from(&snap.undo_pool);
+    }
+
+    /// Like [`Machine::restore_from`], but preserves the monotonic clock,
+    /// the noise RNG stream, accumulated statistics and the tracer —
+    /// rewinding *state* without rewinding *time*. This is the redundancy
+    /// voter's per-trial reset: every sample restarts from identical
+    /// machine state while the noise draws keep advancing.
+    pub fn restore_from_keeping_clock(&mut self, snap: &Machine) {
+        self.regs = snap.regs;
+        self.mem.restore_from(&snap.mem);
+        self.hier.clone_from(&snap.hier);
+        self.bp.clone_from(&snap.bp);
+        self.btb.clone_from(&snap.btb);
+        self.contention = snap.contention.clone();
+        self.program.clone_from(&snap.program);
+        self.code.clone_from(&snap.code);
+        self.tx.clone_from(&snap.tx);
+        self.spec_scratch.clone_from(&snap.spec_scratch);
+        self.undo_pool.clone_from(&snap.undo_pool);
+    }
+
+    /// Restarts the noise RNG stream from `seed`, keeping the noise
+    /// configuration. Combined with [`Machine::restore_from`] this gives
+    /// each item of a batched input stream its own deterministic noise
+    /// sequence, identical to a fresh machine reseeded the same way.
+    pub fn reseed_noise(&mut self, seed: u64) {
+        self.noise.reseed(seed);
     }
 
     // ------------------------------------------------------------------

@@ -101,6 +101,22 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Rewinds this memory to `snap`'s exact contents. Pages resident in
+    /// both copies are overwritten in place (a memcpy, no allocation), so
+    /// the steady-state cost of a batch loop's restore is proportional to
+    /// the pages the workload actually touches.
+    pub fn restore_from(&mut self, snap: &Memory) {
+        self.pages.retain(|k, _| snap.pages.contains_key(k));
+        for (k, src) in &snap.pages {
+            match self.pages.get_mut(k) {
+                Some(dst) => **dst = **src,
+                None => {
+                    self.pages.insert(*k, src.clone());
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

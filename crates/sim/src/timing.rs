@@ -228,6 +228,16 @@ impl NoiseGen {
         self.cfg = cfg;
     }
 
+    /// Restarts the RNG stream from `seed`, keeping the configuration.
+    ///
+    /// After this call the generator draws exactly the sequence a fresh
+    /// `NoiseGen::new(cfg, seed)` would — the primitive batch evaluation
+    /// uses to give every item of a stream its own deterministic noise
+    /// without rebuilding the machine.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// Jitter added to a single memory access.
     pub fn mem_jitter(&mut self) -> u64 {
         if self.cfg.jitter == 0 {
